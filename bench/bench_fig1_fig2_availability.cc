@@ -1,0 +1,95 @@
+// Reproduces Figures 1 and 2: warehouse operation timelines under the
+// nightly/offline policy vs 2VNL, plus the availability / expiration
+// numbers each policy implies. (The paper's figures are qualitative; this
+// bench quantifies them on the same schedule geometry.)
+#include <cstdio>
+
+#include "common/strings.h"
+#include "warehouse/schedule.h"
+
+namespace wvm::warehouse {
+namespace {
+
+void PrintTimeline(const ScheduleConfig& config, const char* title) {
+  std::printf("%s\n", title);
+  std::printf("  hour of day: 0    4    8    12   16   20   24\n");
+  const std::vector<MaintenanceWindow> windows = BuildWindows(config);
+  for (int day = 0; day < std::min(config.days, 3); ++day) {
+    std::string line(24, '.');
+    for (int hour = 0; hour < 24; ++hour) {
+      const SimTime t = day * kMinutesPerDay + hour * kMinutesPerHour;
+      for (const MaintenanceWindow& w : windows) {
+        if (t >= w.start && t < w.commit) line[hour] = 'M';
+      }
+    }
+    std::printf("  day %d        %s   (M = maintenance txn active)\n", day,
+                line.c_str());
+  }
+}
+
+void RunScenario(const char* title, const ScheduleConfig& config) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("maintenance: starts %s, runs %lld h; sessions: %lld h long, "
+              "arriving every %lld min\n",
+              SimTimeToString(config.maint_start).c_str(),
+              static_cast<long long>(config.maint_duration /
+                                     kMinutesPerHour),
+              static_cast<long long>(config.session_duration /
+                                     kMinutesPerHour),
+              static_cast<long long>(config.arrival_step));
+  PrintTimeline(config, "timeline:");
+  std::printf("\n%s\n", SimulateOffline(config).ToString().c_str());
+  for (int n : {2, 3, 4}) {
+    std::printf("%s\n", SimulateVnl(config, n).ToString().c_str());
+  }
+  std::printf("%s\n", SimulateMv2pl(config).ToString().c_str());
+  std::printf("%s\n", SimulateVnlQuiescent(config).ToString().c_str());
+}
+
+void Run() {
+  // Figure 1: the current approach — nightly 6-hour maintenance windows;
+  // the warehouse is closed to readers during them.
+  ScheduleConfig nightly;
+  nightly.days = 14;
+  nightly.maint_start = MakeSimTime(0, 0);
+  nightly.maint_duration = 6 * kMinutesPerHour;
+  nightly.arrival_step = 20;
+  nightly.session_duration = 2 * kMinutesPerHour;
+  RunScenario("Figure 1 scenario: nightly maintenance, 2h sessions",
+              nightly);
+
+  // Figure 2: 2VNL's extreme pattern — 23-hour maintenance transactions
+  // with 1-hour gaps (9am -> 8am), warehouse open 24h.
+  ScheduleConfig continuous;
+  continuous.days = 14;
+  continuous.maint_start = MakeSimTime(0, 9);
+  continuous.maint_duration = 23 * kMinutesPerHour;
+  continuous.arrival_step = 20;
+  continuous.session_duration = 4 * kMinutesPerHour;
+  RunScenario(
+      "Figure 2 scenario: 9am->8am maintenance transactions, 4h sessions",
+      continuous);
+
+  // The offline policy simply cannot run the Figure 2 pattern: a 23-hour
+  // window would leave a 1-hour business day. Show the collapse.
+  ScheduleConfig impossible = continuous;
+  impossible.session_duration = 30;
+  std::printf("\n=== Offline under the Figure 2 maintenance load "
+              "(30-min sessions) ===\n");
+  std::printf("%s\n", SimulateOffline(impossible).ToString().c_str());
+  std::printf("%s\n", SimulateVnl(impossible, 2).ToString().c_str());
+  std::printf(
+      "\nTakeaway (matches the paper's §1-§2 motivation): the offline\n"
+      "policy loses availability proportional to the maintenance window,\n"
+      "while 2VNL keeps the warehouse open 24h and only sessions that\n"
+      "overlap two maintenance-txn boundaries expire; larger n removes\n"
+      "those as well at higher storage cost.\n");
+}
+
+}  // namespace
+}  // namespace wvm::warehouse
+
+int main() {
+  wvm::warehouse::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §5 study: session expiration vs n. Sweeps session length against the
+// number of in-tuple versions and validates the paper's guarantee
+//   max never-expiring session length = (n-1)(i+m) - m
+// on the Figure 2 schedule (i = 1h gap, m = 23h maintenance).
+#include <cstdio>
+
+#include "common/strings.h"
+#include "warehouse/schedule.h"
+
+namespace wvm::warehouse {
+namespace {
+
+void Run() {
+  ScheduleConfig base;
+  base.days = 30;
+  base.maint_start = MakeSimTime(0, 9);
+  base.maint_duration = 23 * kMinutesPerHour;  // Figure 2 pattern
+  base.arrival_step = 10;
+  const SimTime gap = kMinutesPerDay - base.maint_duration;  // 1h
+
+  std::printf("=== §5: expiration rate vs session length and n ===\n");
+  std::printf("(schedule: %lldh maintenance transactions, %lldh gaps; "
+              "arrivals every %lld min over %d days)\n\n",
+              static_cast<long long>(base.maint_duration / 60),
+              static_cast<long long>(gap / 60),
+              static_cast<long long>(base.arrival_step), base.days);
+
+  std::printf("%-14s", "session len");
+  for (int n = 2; n <= 5; ++n) std::printf("   n=%d      ", n);
+  std::printf("\n");
+  for (SimTime hours : {1, 2, 6, 12, 24, 48, 72, 96}) {
+    ScheduleConfig config = base;
+    config.session_duration = hours * kMinutesPerHour;
+    std::printf("%10lldh   ", static_cast<long long>(hours));
+    for (int n = 2; n <= 5; ++n) {
+      PolicyResult r = SimulateVnl(config, n);
+      std::printf("%6.2f%%    ",
+                  100.0 * static_cast<double>(r.expired) /
+                      static_cast<double>(r.sessions));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== §5 guarantee: (n-1)(i+m) - m ===\n");
+  std::printf("n   guarantee      expired at guarantee   expired just past\n");
+  for (int n = 2; n <= 5; ++n) {
+    const SimTime guarantee =
+        MaxGuaranteedSessionLength(n, gap, base.maint_duration);
+    ScheduleConfig at = base;
+    at.session_duration = guarantee;
+    PolicyResult r_at = SimulateVnl(at, n);
+    ScheduleConfig past = base;
+    past.session_duration = guarantee + gap + base.maint_duration;
+    PolicyResult r_past = SimulateVnl(past, n);
+    std::printf("%d   %5lldh%02lldm     %8zu / %-8zu      %8zu / %zu\n", n,
+                static_cast<long long>(guarantee / 60),
+                static_cast<long long>(guarantee % 60), r_at.expired,
+                r_at.sessions, r_past.expired, r_past.sessions);
+  }
+  std::printf(
+      "\nShape check: zero expirations at the guarantee for every n, "
+      "nonzero just past it,\nand the 2VNL worst case equals the gap "
+      "(sessions starting just before a commit\nexpire at the next 9am) — "
+      "the paper's §2.1 observation.\n");
+}
+
+}  // namespace
+}  // namespace wvm::warehouse
+
+int main() {
+  wvm::warehouse::Run();
+  return 0;
+}

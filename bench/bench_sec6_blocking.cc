@@ -1,0 +1,214 @@
+// §6 blocking study: concurrent reader sessions vs one maintenance
+// transaction, per engine. Measures what each scheme makes the other side
+// pay: reader latency / failures (s2pl, offline), writer commit delay
+// (2v2pl certification), and that 2VNL / MV2PL make both costs vanish.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/mv2pl_engine.h"
+#include "baselines/offline_engine.h"
+#include "baselines/s2pl_engine.h"
+#include "baselines/two_v2pl_engine.h"
+#include "baselines/vnl_adapter.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace wvm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Ms = std::chrono::duration<double, std::milli>;
+
+constexpr int kKeys = 200;
+constexpr int kReaderThreads = 3;
+constexpr auto kRunFor = std::chrono::milliseconds(400);
+constexpr auto kSessionThinkTime = std::chrono::milliseconds(5);
+
+Schema ItemSchema() {
+  return Schema({Column::Int64("id"), Column::Int64("qty", true)}, {0});
+}
+
+struct RunStats {
+  std::atomic<uint64_t> sessions{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> reader_lock_failures{0};
+  std::atomic<uint64_t> reader_expirations{0};
+  std::atomic<uint64_t> reader_wait_us{0};  // time to open + first read
+  std::atomic<uint64_t> maint_txns{0};
+  std::atomic<uint64_t> maint_retries{0};
+  std::atomic<uint64_t> commit_wait_us{0};
+};
+
+void ReaderLoop(baselines::WarehouseEngine* engine, RunStats* stats,
+                std::atomic<bool>* stop, uint64_t seed) {
+  Rng rng(seed);
+  while (!stop->load(std::memory_order_relaxed)) {
+    const auto t0 = Clock::now();
+    Result<uint64_t> reader = engine->OpenReader();
+    if (!reader.ok()) {
+      stats->reader_lock_failures.fetch_add(1);
+      continue;
+    }
+    bool failed = false;
+    // A short analyst session: a handful of point reads over think time.
+    for (int q = 0; q < 5 && !stop->load(std::memory_order_relaxed); ++q) {
+      Result<std::optional<Row>> row = engine->ReadKey(
+          *reader, {Value::Int64(rng.Uniform(0, kKeys - 1))});
+      if (q == 0) {
+        stats->reader_wait_us.fetch_add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count()));
+      }
+      if (!row.ok()) {
+        // Lock timeout (s2pl / 2v2pl certify) or session expiration
+        // (2VNL overlapping two maintenance boundaries); either way the
+        // session restarts, which is the §2.1 protocol for expiration.
+        if (row.status().code() == StatusCode::kSessionExpired) {
+          stats->reader_expirations.fetch_add(1);
+        } else {
+          failed = true;
+        }
+        break;
+      }
+      stats->reads.fetch_add(1);
+      std::this_thread::sleep_for(kSessionThinkTime);
+    }
+    if (failed) stats->reader_lock_failures.fetch_add(1);
+    (void)engine->CloseReader(*reader);
+    stats->sessions.fetch_add(1);
+  }
+}
+
+void WriterLoop(baselines::WarehouseEngine* engine, RunStats* stats,
+                std::atomic<bool>* stop) {
+  Rng rng(777);
+  while (!stop->load(std::memory_order_relaxed)) {
+    // Warehouses run long maintenance transactions separated by gaps
+    // (§2.1); pacing the writer models that. Without the gap, 2VNL
+    // sessions would expire constantly — the one scenario the paper
+    // flags as inappropriate for the algorithm.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    if (!engine->BeginMaintenance().ok()) continue;
+    // Update a spread of tuples, retrying ops that hit lock timeouts.
+    for (int i = 0; i < 40; ++i) {
+      const int64_t id = rng.Uniform(0, kKeys - 1);
+      Row row = {Value::Int64(id), Value::Int64(rng.Uniform(0, 1000))};
+      for (;;) {
+        Status s = engine->MaintUpdate({Value::Int64(id)}, row);
+        if (s.ok()) break;
+        if (s.code() == StatusCode::kDeadlineExceeded) {
+          stats->maint_retries.fetch_add(1);
+          if (stop->load(std::memory_order_relaxed)) break;
+          continue;
+        }
+        WVM_CHECK_MSG(false, s.ToString().c_str());
+      }
+    }
+    const auto c0 = Clock::now();
+    WVM_CHECK(engine->CommitMaintenance().ok());
+    stats->commit_wait_us.fetch_add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              c0)
+            .count()));
+    stats->maint_txns.fetch_add(1);
+  }
+}
+
+void RunEngine(const std::string& name,
+               std::unique_ptr<baselines::WarehouseEngine> engine) {
+  // Preload.
+  WVM_CHECK(engine->BeginMaintenance().ok());
+  for (int64_t i = 0; i < kKeys; ++i) {
+    WVM_CHECK(engine->MaintInsert({Value::Int64(i), Value::Int64(i)}).ok());
+  }
+  WVM_CHECK(engine->CommitMaintenance().ok());
+
+  RunStats stats;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back(ReaderLoop, engine.get(), &stats, &stop,
+                         1000 + t);
+  }
+  std::thread writer(WriterLoop, engine.get(), &stats, &stop);
+  std::this_thread::sleep_for(kRunFor);
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  writer.join();
+
+  const double sessions = static_cast<double>(stats.sessions.load());
+  std::printf(
+      "%-12s sessions=%5.0f reads=%6llu lock-failures=%4llu "
+      "expirations=%3llu first-read-wait=%7.2fms  maint-txns=%3llu "
+      "op-retries=%4llu mean-commit=%7.2fms\n",
+      name.c_str(), sessions,
+      static_cast<unsigned long long>(stats.reads.load()),
+      static_cast<unsigned long long>(stats.reader_lock_failures.load()),
+      static_cast<unsigned long long>(stats.reader_expirations.load()),
+      sessions == 0 ? 0.0
+                    : stats.reader_wait_us.load() / 1000.0 / sessions,
+      static_cast<unsigned long long>(stats.maint_txns.load()),
+      static_cast<unsigned long long>(stats.maint_retries.load()),
+      stats.maint_txns.load() == 0
+          ? 0.0
+          : stats.commit_wait_us.load() / 1000.0 /
+                static_cast<double>(stats.maint_txns.load()));
+}
+
+void Run() {
+  std::printf(
+      "=== §6: readers vs the maintenance transaction (%d reader threads, "
+      "%lldms per engine) ===\n",
+      kReaderThreads, static_cast<long long>(kRunFor.count()));
+  {
+    DiskManager disk;
+    BufferPool pool(4096, &disk);
+    RunEngine("offline",
+              std::make_unique<baselines::OfflineEngine>(&pool,
+                                                         ItemSchema()));
+  }
+  {
+    DiskManager disk;
+    BufferPool pool(4096, &disk);
+    RunEngine("s2pl", std::make_unique<baselines::S2plEngine>(
+                          &pool, ItemSchema(),
+                          std::chrono::milliseconds(25)));
+  }
+  {
+    DiskManager disk;
+    BufferPool pool(4096, &disk);
+    RunEngine("2v2pl", std::make_unique<baselines::TwoV2plEngine>(
+                           &pool, ItemSchema()));
+  }
+  {
+    DiskManager disk;
+    BufferPool pool(4096, &disk);
+    RunEngine("mv2pl-cfl82", std::make_unique<baselines::Mv2plEngine>(
+                                 &pool, ItemSchema()));
+  }
+  {
+    DiskManager disk;
+    BufferPool pool(4096, &disk);
+    auto adapter = baselines::VnlAdapter::Create(&pool, ItemSchema(), 2);
+    WVM_CHECK(adapter.ok());
+    RunEngine("2vnl", std::move(adapter).value());
+  }
+  std::printf(
+      "\nShape check (§6): offline readers stall behind maintenance "
+      "windows; s2pl shows lock\nretries on both sides; 2v2pl's commits "
+      "wait for readers (certify); mv2pl and 2vnl show\nno reader "
+      "failures and no commit delay — 2VNL achieving it with two in-tuple "
+      "versions\nand no locks.\n");
+}
+
+}  // namespace
+}  // namespace wvm
+
+int main() {
+  wvm::Run();
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Tables 2-4 / §3.3 maintenance-cost study: the price of preserving the
+// pre-update version while applying logical insert / update / delete
+// operations, across engines. The workload is the DailySales summary-view
+// delta application — the paper's canonical maintenance transaction.
+#include <benchmark/benchmark.h>
+
+#include "baselines/mv2pl_engine.h"
+#include "baselines/offline_engine.h"
+#include "baselines/vnl_adapter.h"
+#include "common/logging.h"
+#include "warehouse/view_maintenance.h"
+#include "warehouse/workload.h"
+
+namespace wvm {
+namespace {
+
+std::unique_ptr<baselines::WarehouseEngine> MakeEngine(
+    const std::string& name, BufferPool* pool, const Schema& schema) {
+  if (name == "offline") {
+    return std::make_unique<baselines::OfflineEngine>(pool, schema);
+  }
+  if (name == "mv2pl-cfl82" || name == "mv2pl-bc92") {
+    return std::make_unique<baselines::Mv2plEngine>(
+        pool, schema,
+        baselines::Mv2plEngine::Options(name == "mv2pl-bc92"));
+  }
+  int n = 2;
+  if (name == "3vnl") n = 3;
+  if (name == "4vnl") n = 4;
+  auto adapter = baselines::VnlAdapter::Create(pool, schema, n);
+  WVM_CHECK(adapter.ok());
+  return std::move(adapter).value();
+}
+
+// Applies `days` of summary-view maintenance batches; each benchmark
+// iteration replays the full multi-day history on a fresh engine.
+void RunMaintenanceBench(benchmark::State& state, const std::string& name) {
+  warehouse::DailySalesConfig config;
+  config.events_per_batch = 1500;
+  config.num_cities = 20;
+  config.num_product_lines = 8;
+
+  size_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    warehouse::DailySalesWorkload workload(config);
+    const warehouse::SummaryView& view = workload.view();
+    DiskManager disk;
+    BufferPool pool(16384, &disk);
+    std::unique_ptr<baselines::WarehouseEngine> engine =
+        MakeEngine(name, &pool, view.view_schema());
+    std::vector<warehouse::DeltaBatch> batches;
+    for (int day = 1; day <= 4; ++day) {
+      batches.push_back(workload.MakeBatch(day));
+    }
+    state.ResumeTiming();
+
+    for (const warehouse::DeltaBatch& batch : batches) {
+      WVM_CHECK(engine->BeginMaintenance().ok());
+      Result<warehouse::SummaryView::ApplyStats> stats =
+          view.ApplyDelta(engine.get(), batch);
+      WVM_CHECK(stats.ok());
+      ops += stats->groups_touched;
+      WVM_CHECK(engine->CommitMaintenance().ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.SetLabel(name);
+}
+
+void BM_Maintenance_Offline(benchmark::State& state) {
+  RunMaintenanceBench(state, "offline");
+}
+void BM_Maintenance_2Vnl(benchmark::State& state) {
+  RunMaintenanceBench(state, "2vnl");
+}
+void BM_Maintenance_3Vnl(benchmark::State& state) {
+  RunMaintenanceBench(state, "3vnl");
+}
+void BM_Maintenance_4Vnl(benchmark::State& state) {
+  RunMaintenanceBench(state, "4vnl");
+}
+void BM_Maintenance_Mv2plCfl82(benchmark::State& state) {
+  RunMaintenanceBench(state, "mv2pl-cfl82");
+}
+void BM_Maintenance_Mv2plBc92(benchmark::State& state) {
+  RunMaintenanceBench(state, "mv2pl-bc92");
+}
+BENCHMARK(BM_Maintenance_Offline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maintenance_2Vnl)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maintenance_3Vnl)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maintenance_4Vnl)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maintenance_Mv2plCfl82)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maintenance_Mv2plBc92)->Unit(benchmark::kMillisecond);
+
+// Per-operation microbenchmarks against a preloaded 2VNL table: the cost
+// of each decision-table path in isolation.
+struct MicroFixture {
+  MicroFixture() : pool(16384, &disk) {
+    auto engine_or = core::VnlEngine::Create(&pool, 2);
+    WVM_CHECK(engine_or.ok());
+    engine = std::move(engine_or).value();
+    Schema schema({Column::Int64("id"), Column::Int64("qty", true)}, {0});
+    auto table_or = engine->CreateTable("items", schema);
+    WVM_CHECK(table_or.ok());
+    table = table_or.value();
+    Result<core::MaintenanceTxn*> load = engine->BeginMaintenance();
+    WVM_CHECK(load.ok());
+    for (int64_t i = 0; i < 8192; ++i) {
+      WVM_CHECK(table->Insert(load.value(),
+                              {Value::Int64(i), Value::Int64(i)}).ok());
+    }
+    WVM_CHECK(engine->Commit(load.value()).ok());
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  std::unique_ptr<core::VnlEngine> engine;
+  core::VnlTable* table;
+};
+
+MicroFixture& Micro() {
+  static MicroFixture* fx = new MicroFixture();
+  return *fx;
+}
+
+void BM_VnlUpdateByKey(benchmark::State& state) {
+  MicroFixture& fx = Micro();
+  Result<core::MaintenanceTxn*> txn = fx.engine->BeginMaintenance();
+  WVM_CHECK(txn.ok());
+  int64_t id = 0;
+  for (auto _ : state) {
+    Result<bool> r = fx.table->UpdateByKey(
+        txn.value(), {Value::Int64(id)},
+        [](const Row& row) -> Result<Row> {
+          Row next = row;
+          next[1] = Value::Int64(next[1].AsInt64() + 1);
+          return next;
+        });
+    WVM_CHECK(r.ok() && r.value());
+    id = (id + 1) % 8192;
+  }
+  WVM_CHECK(fx.engine->Commit(txn.value()).ok());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("Table 3: PV<-CV, CV<-MV, stamp VN (first touch) or "
+                 "CV<-MV (same txn)");
+}
+BENCHMARK(BM_VnlUpdateByKey);
+
+void BM_VnlInsertFresh(benchmark::State& state) {
+  MicroFixture& fx = Micro();
+  Result<core::MaintenanceTxn*> txn = fx.engine->BeginMaintenance();
+  WVM_CHECK(txn.ok());
+  // Monotonic across benchmark re-entries: ids must never repeat.
+  static int64_t id = 1 << 20;
+  for (auto _ : state) {
+    WVM_CHECK(fx.table->Insert(txn.value(),
+                               {Value::Int64(id++), Value::Int64(1)}).ok());
+  }
+  WVM_CHECK(fx.engine->Commit(txn.value()).ok());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("Table 2 line 3: physical insert, PV <- nulls");
+}
+BENCHMARK(BM_VnlInsertFresh);
+
+void BM_VnlDeleteThenReinsert(benchmark::State& state) {
+  MicroFixture& fx = Micro();
+  Result<core::MaintenanceTxn*> txn = fx.engine->BeginMaintenance();
+  WVM_CHECK(txn.ok());
+  int64_t id = 0;
+  for (auto _ : state) {
+    // delete + insert of the same key: Table 4 line 1 then Table 2 line 2
+    // (net effect update).
+    Result<bool> d = fx.table->DeleteByKey(txn.value(), {Value::Int64(id)});
+    WVM_CHECK(d.ok() && d.value());
+    WVM_CHECK(fx.table->Insert(txn.value(),
+                               {Value::Int64(id), Value::Int64(7)}).ok());
+    id = (id + 1) % 8192;
+  }
+  WVM_CHECK(fx.engine->Commit(txn.value()).ok());
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.SetLabel("Table 4 line 1 + Table 2 line 2 (net-effect update)");
+}
+BENCHMARK(BM_VnlDeleteThenReinsert);
+
+}  // namespace
+}  // namespace wvm
+
+BENCHMARK_MAIN();

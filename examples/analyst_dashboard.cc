@@ -1,0 +1,128 @@
+// A 24/7 warehouse: several analyst threads run sessions continuously
+// while a maintenance thread applies daily delta batches (the DailySales
+// workload) — the operating mode Figure 2 promises. Each session checks
+// its own consistency (repeated aggregates must not move) and handles
+// expiration by reopening, exactly as §2.1 prescribes.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/vnl_adapter.h"
+#include "common/logging.h"
+#include "sql/parser.h"
+#include "warehouse/workload.h"
+
+using namespace wvm;
+
+namespace {
+
+struct AnalystStats {
+  std::atomic<uint64_t> sessions{0};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> expired{0};
+  std::atomic<uint64_t> inconsistencies{0};
+};
+
+void AnalystLoop(core::VnlEngine* engine, core::VnlTable* table,
+                 std::atomic<bool>* stop, AnalystStats* stats) {
+  Result<sql::SelectStmt> stmt =
+      sql::ParseSelect("SELECT SUM(total_sales), COUNT(*) FROM DailySales");
+  WVM_CHECK(stmt.ok());
+  while (!stop->load()) {
+    core::ReaderSession session = engine->OpenSession();
+    stats->sessions.fetch_add(1);
+    int64_t pinned_total = 0;
+    bool have_pin = false;
+    for (int q = 0; q < 20 && !stop->load(); ++q) {
+      Result<query::QueryResult> r = table->SnapshotSelect(session, *stmt);
+      if (!r.ok()) {
+        WVM_CHECK(r.status().code() == StatusCode::kSessionExpired);
+        stats->expired.fetch_add(1);
+        break;  // reopen a session, as the paper instructs
+      }
+      stats->queries.fetch_add(1);
+      const int64_t total =
+          r->rows[0][0].is_null() ? 0 : r->rows[0][0].AsInt64();
+      if (!have_pin) {
+        pinned_total = total;
+        have_pin = true;
+      } else if (total != pinned_total) {
+        stats->inconsistencies.fetch_add(1);  // must never happen
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    engine->CloseSession(session);
+  }
+}
+
+}  // namespace
+
+int main() {
+  DiskManager disk;
+  BufferPool pool(8192, &disk);
+  warehouse::DailySalesConfig config;
+  config.events_per_batch = 1200;
+  config.num_cities = 15;
+  config.num_product_lines = 6;
+  warehouse::DailySalesWorkload workload(config);
+  const warehouse::SummaryView& view = workload.view();
+
+  auto adapter_or = baselines::VnlAdapter::Create(&pool, view.view_schema(),
+                                                  /*n=*/2);
+  WVM_CHECK(adapter_or.ok());
+  baselines::VnlAdapter& warehouse_db = **adapter_or;
+
+  // Day-1 load.
+  WVM_CHECK(warehouse_db.BeginMaintenance().ok());
+  WVM_CHECK(view.ApplyDelta(&warehouse_db, workload.MakeBatch(1)).ok());
+  WVM_CHECK(warehouse_db.CommitMaintenance().ok());
+
+  std::printf("Warehouse open 24/7. 3 analysts querying while 6 daily "
+              "maintenance transactions run...\n");
+
+  AnalystStats stats;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> analysts;
+  for (int t = 0; t < 3; ++t) {
+    analysts.emplace_back(AnalystLoop, warehouse_db.engine(),
+                          warehouse_db.table(), &stop, &stats);
+  }
+
+  // The maintenance thread applies one "day" of deltas every 60 ms.
+  for (int day = 2; day <= 7; ++day) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    WVM_CHECK(warehouse_db.BeginMaintenance().ok());
+    Result<warehouse::SummaryView::ApplyStats> applied =
+        view.ApplyDelta(&warehouse_db, workload.MakeBatch(day));
+    WVM_CHECK(applied.ok());
+    WVM_CHECK(warehouse_db.CommitMaintenance().ok());
+    std::printf("  maintenance day %d committed: %zu groups touched "
+                "(%zu ins / %zu upd / %zu del), VN -> %lld\n",
+                day, applied->groups_touched, applied->inserts,
+                applied->updates, applied->deletes,
+                static_cast<long long>(
+                    warehouse_db.engine()->current_vn()));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  stop.store(true);
+  for (auto& t : analysts) t.join();
+
+  std::printf(
+      "\nAnalyst activity: %llu sessions, %llu queries, %llu "
+      "expirations handled, %llu consistency violations.\n",
+      static_cast<unsigned long long>(stats.sessions.load()),
+      static_cast<unsigned long long>(stats.queries.load()),
+      static_cast<unsigned long long>(stats.expired.load()),
+      static_cast<unsigned long long>(stats.inconsistencies.load()));
+  WVM_CHECK(stats.inconsistencies.load() == 0);
+  std::printf("Zero violations: every session saw one consistent database "
+              "state, with no locks and no blocking.\n");
+
+  // §7 housekeeping: reclaim tuples deleted by the week's maintenance.
+  core::VnlEngine::GcStats gc = warehouse_db.engine()->CollectGarbage();
+  std::printf("Garbage collection reclaimed %zu logically deleted "
+              "tuples.\n", gc.tuples_reclaimed);
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "baselines/offline_engine.h"
+
+namespace wvm::baselines {
+
+OfflineEngine::OfflineEngine(BufferPool* pool, Schema logical)
+    : schema_(std::move(logical)),
+      table_(std::make_unique<Table>("offline", schema_, pool)) {}
+
+Result<uint64_t> OfflineEngine::OpenReader() {
+  std::unique_lock lock(gate_mu_);
+  gate_cv_.wait(lock, [&] { return !writer_active_ && !writer_waiting_; });
+  ++active_readers_;
+  const uint64_t id = next_reader_++;
+  readers_[id] = true;
+  return id;
+}
+
+Status OfflineEngine::CloseReader(uint64_t reader) {
+  std::lock_guard lock(gate_mu_);
+  auto it = readers_.find(reader);
+  if (it == readers_.end()) return Status::NotFound("unknown reader");
+  readers_.erase(it);
+  --active_readers_;
+  gate_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<std::vector<Row>> OfflineEngine::ReadAll(uint64_t reader) {
+  {
+    std::lock_guard lock(gate_mu_);
+    if (readers_.count(reader) == 0) {
+      return Status::NotFound("unknown reader");
+    }
+    // The session already holds the shared gate; reads proceed freely.
+  }
+  return table_->AllRows();
+}
+
+Result<std::optional<Row>> OfflineEngine::ReadKey(uint64_t reader,
+                                                  const Row& key) {
+  {
+    std::lock_guard lock(gate_mu_);
+    if (readers_.count(reader) == 0) {
+      return Status::NotFound("unknown reader");
+    }
+  }
+  Result<Rid> rid = FindKey(key);
+  if (!rid.ok()) {
+    if (rid.status().code() == StatusCode::kNotFound) {
+      return std::optional<Row>();
+    }
+    return rid.status();
+  }
+  WVM_ASSIGN_OR_RETURN(Row row, table_->GetRow(rid.value()));
+  return std::optional<Row>(std::move(row));
+}
+
+Status OfflineEngine::BeginMaintenance() {
+  std::unique_lock lock(gate_mu_);
+  if (writer_active_ || writer_waiting_) {
+    return Status::FailedPrecondition("maintenance already active");
+  }
+  writer_waiting_ = true;
+  gate_cv_.wait(lock, [&] { return active_readers_ == 0; });
+  writer_waiting_ = false;
+  writer_active_ = true;
+  return Status::OK();
+}
+
+Status OfflineEngine::CommitMaintenance() {
+  std::lock_guard lock(gate_mu_);
+  if (!writer_active_) {
+    return Status::FailedPrecondition("no active maintenance");
+  }
+  writer_active_ = false;
+  gate_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<Rid> OfflineEngine::FindKey(const Row& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key");
+  return it->second;
+}
+
+Result<std::optional<Row>> OfflineEngine::MaintReadKey(const Row& key) {
+  if (!writer_active_) {
+    return Status::FailedPrecondition("no active maintenance");
+  }
+  Result<Rid> rid = FindKey(key);
+  if (!rid.ok()) {
+    if (rid.status().code() == StatusCode::kNotFound) {
+      return std::optional<Row>();
+    }
+    return rid.status();
+  }
+  WVM_ASSIGN_OR_RETURN(Row row, table_->GetRow(rid.value()));
+  return std::optional<Row>(std::move(row));
+}
+
+Status OfflineEngine::MaintInsert(const Row& row) {
+  if (!writer_active_) {
+    return Status::FailedPrecondition("no active maintenance");
+  }
+  const Row key = schema_.KeyOf(row);
+  if (index_.count(key) > 0) {
+    return Status::AlreadyExists("duplicate key");
+  }
+  WVM_ASSIGN_OR_RETURN(Rid rid, table_->InsertRow(row));
+  index_[key] = rid;
+  return Status::OK();
+}
+
+Status OfflineEngine::MaintUpdate(const Row& key, const Row& row) {
+  if (!writer_active_) {
+    return Status::FailedPrecondition("no active maintenance");
+  }
+  WVM_ASSIGN_OR_RETURN(Rid rid, FindKey(key));
+  return table_->UpdateRow(rid, row);
+}
+
+Status OfflineEngine::MaintDelete(const Row& key) {
+  if (!writer_active_) {
+    return Status::FailedPrecondition("no active maintenance");
+  }
+  WVM_ASSIGN_OR_RETURN(Rid rid, FindKey(key));
+  WVM_RETURN_IF_ERROR(table_->DeleteRow(rid));
+  index_.erase(key);
+  return Status::OK();
+}
+
+EngineStorageStats OfflineEngine::StorageStats() const {
+  return {table_->num_pages(), 0, schema_.RowByteSize()};
+}
+
+}  // namespace wvm::baselines

@@ -1,0 +1,64 @@
+#ifndef OPENWVM_BASELINES_OFFLINE_ENGINE_H_
+#define OPENWVM_BASELINES_OFFLINE_ENGINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "baselines/warehouse_engine.h"
+#include "catalog/table.h"
+
+namespace wvm::baselines {
+
+// The status-quo baseline of §1.1 (Figure 1): maintenance runs with the
+// warehouse offline. Reader sessions and the maintenance transaction
+// exclude each other at whole-database granularity — maintenance waits
+// for sessions to drain, and no session may start (or read) while
+// maintenance is active or waiting. Consistency is trivially guaranteed;
+// availability is what it costs, which the availability experiment
+// measures.
+class OfflineEngine : public WarehouseEngine {
+ public:
+  OfflineEngine(BufferPool* pool, Schema logical);
+
+  std::string name() const override { return "offline"; }
+  const Schema& logical_schema() const override { return schema_; }
+
+  Result<uint64_t> OpenReader() override;
+  Status CloseReader(uint64_t reader) override;
+  Result<std::vector<Row>> ReadAll(uint64_t reader) override;
+  Result<std::optional<Row>> ReadKey(uint64_t reader,
+                                     const Row& key) override;
+
+  Status BeginMaintenance() override;
+  Result<std::optional<Row>> MaintReadKey(const Row& key) override;
+  Status MaintInsert(const Row& row) override;
+  Status MaintUpdate(const Row& key, const Row& row) override;
+  Status MaintDelete(const Row& key) override;
+  Status CommitMaintenance() override;
+
+  EngineStorageStats StorageStats() const override;
+
+ private:
+  Result<Rid> FindKey(const Row& key) const;
+
+  Schema schema_;
+  std::unique_ptr<Table> table_;
+
+  // Database-wide reader/writer gate (counter-based so sessions can span
+  // calls; writer-preferring so maintenance is not starved).
+  mutable std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int active_readers_ = 0;
+  bool writer_active_ = false;
+  bool writer_waiting_ = false;
+  uint64_t next_reader_ = 1;
+  std::unordered_map<uint64_t, bool> readers_;  // id -> open
+
+  std::unordered_map<Row, Rid, RowHash, RowEq> index_;
+};
+
+}  // namespace wvm::baselines
+
+#endif  // OPENWVM_BASELINES_OFFLINE_ENGINE_H_

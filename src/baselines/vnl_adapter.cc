@@ -1,0 +1,95 @@
+#include "baselines/vnl_adapter.h"
+
+namespace wvm::baselines {
+
+Result<std::unique_ptr<VnlAdapter>> VnlAdapter::Create(BufferPool* pool,
+                                                       Schema logical,
+                                                       int n) {
+  WVM_ASSIGN_OR_RETURN(auto engine, core::VnlEngine::Create(pool, n));
+  WVM_ASSIGN_OR_RETURN(core::VnlTable * table,
+                       engine->CreateTable("warehouse", std::move(logical)));
+  return std::unique_ptr<VnlAdapter>(
+      new VnlAdapter(n, std::move(engine), table));
+}
+
+Result<uint64_t> VnlAdapter::OpenReader() {
+  core::ReaderSession session = engine_->OpenSession();
+  std::lock_guard lock(mu_);
+  sessions_[session.id] = session;
+  return session.id;
+}
+
+Status VnlAdapter::CloseReader(uint64_t reader) {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(reader);
+  if (it == sessions_.end()) return Status::NotFound("unknown reader");
+  engine_->CloseSession(it->second);
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<Row>> VnlAdapter::ReadAll(uint64_t reader) {
+  core::ReaderSession session;
+  {
+    std::lock_guard lock(mu_);
+    auto it = sessions_.find(reader);
+    if (it == sessions_.end()) return Status::NotFound("unknown reader");
+    session = it->second;
+  }
+  return table_->SnapshotRows(session);
+}
+
+Result<std::optional<Row>> VnlAdapter::ReadKey(uint64_t reader,
+                                               const Row& key) {
+  core::ReaderSession session;
+  {
+    std::lock_guard lock(mu_);
+    auto it = sessions_.find(reader);
+    if (it == sessions_.end()) return Status::NotFound("unknown reader");
+    session = it->second;
+  }
+  return table_->SnapshotLookup(session, key);
+}
+
+Status VnlAdapter::BeginMaintenance() {
+  std::lock_guard lock(mu_);
+  WVM_ASSIGN_OR_RETURN(txn_, engine_->BeginMaintenance());
+  return Status::OK();
+}
+
+Result<std::optional<Row>> VnlAdapter::MaintReadKey(const Row& key) {
+  return table_->MaintenanceLookup(txn_, key);
+}
+
+Status VnlAdapter::MaintInsert(const Row& row) {
+  return table_->Insert(txn_, row);
+}
+
+Status VnlAdapter::MaintUpdate(const Row& key, const Row& row) {
+  WVM_ASSIGN_OR_RETURN(
+      bool found,
+      table_->UpdateByKey(
+          txn_, key, [&row](const Row&) -> Result<Row> { return row; }));
+  if (!found) return Status::NotFound("no such key");
+  return Status::OK();
+}
+
+Status VnlAdapter::MaintDelete(const Row& key) {
+  WVM_ASSIGN_OR_RETURN(bool found, table_->DeleteByKey(txn_, key));
+  if (!found) return Status::NotFound("no such key");
+  return Status::OK();
+}
+
+Status VnlAdapter::CommitMaintenance() {
+  std::lock_guard lock(mu_);
+  WVM_RETURN_IF_ERROR(engine_->Commit(txn_));
+  txn_ = nullptr;
+  return Status::OK();
+}
+
+EngineStorageStats VnlAdapter::StorageStats() const {
+  return {table_->physical_pages(), 0,
+          table_->versioned_schema().physical().RowByteSize()};
+}
+
+}  // namespace wvm::baselines

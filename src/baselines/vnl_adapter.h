@@ -1,0 +1,63 @@
+#ifndef OPENWVM_BASELINES_VNL_ADAPTER_H_
+#define OPENWVM_BASELINES_VNL_ADAPTER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "baselines/warehouse_engine.h"
+#include "core/vnl_engine.h"
+
+namespace wvm::baselines {
+
+// Adapts the paper's nVNL engine to the uniform WarehouseEngine facade so
+// the Section 6 experiments sweep it alongside the baselines.
+class VnlAdapter : public WarehouseEngine {
+ public:
+  // `n` = 2 is 2VNL.
+  static Result<std::unique_ptr<VnlAdapter>> Create(BufferPool* pool,
+                                                    Schema logical,
+                                                    int n = 2);
+
+  std::string name() const override {
+    return n_ == 2 ? "2vnl" : std::to_string(n_) + "vnl";
+  }
+  const Schema& logical_schema() const override {
+    return table_->logical_schema();
+  }
+
+  Result<uint64_t> OpenReader() override;
+  Status CloseReader(uint64_t reader) override;
+  Result<std::vector<Row>> ReadAll(uint64_t reader) override;
+  Result<std::optional<Row>> ReadKey(uint64_t reader,
+                                     const Row& key) override;
+
+  Status BeginMaintenance() override;
+  Result<std::optional<Row>> MaintReadKey(const Row& key) override;
+  Status MaintInsert(const Row& row) override;
+  Status MaintUpdate(const Row& key, const Row& row) override;
+  Status MaintDelete(const Row& key) override;
+  Status CommitMaintenance() override;
+
+  EngineStorageStats StorageStats() const override;
+
+  core::VnlEngine* engine() { return engine_.get(); }
+  core::VnlTable* table() { return table_; }
+
+ private:
+  VnlAdapter(int n, std::unique_ptr<core::VnlEngine> engine,
+             core::VnlTable* table)
+      : n_(n), engine_(std::move(engine)), table_(table) {}
+
+  const int n_;
+  std::unique_ptr<core::VnlEngine> engine_;
+  core::VnlTable* table_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, core::ReaderSession> sessions_;
+  core::MaintenanceTxn* txn_ = nullptr;
+};
+
+}  // namespace wvm::baselines
+
+#endif  // OPENWVM_BASELINES_VNL_ADAPTER_H_

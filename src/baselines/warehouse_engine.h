@@ -1,0 +1,68 @@
+#ifndef OPENWVM_BASELINES_WAREHOUSE_ENGINE_H_
+#define OPENWVM_BASELINES_WAREHOUSE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace wvm::baselines {
+
+// Storage accounting reported by every engine (paper §6's storage and
+// I/O comparison is run over this interface).
+struct EngineStorageStats {
+  uint64_t main_pages = 0;       // pages of the primary relation
+  uint64_t aux_pages = 0;        // version pool / shadow structures
+  size_t main_tuple_bytes = 0;   // serialized width of a primary tuple
+};
+
+// Uniform facade over one warehouse relation maintained by each
+// concurrency-control scheme the paper discusses:
+//   offline  — nightly batch; readers and maintenance mutually exclude
+//   s2pl     — strict two-phase locking at tuple granularity
+//   2v2pl    — two versions, readers delay writer commit (certify)
+//   mv2pl    — transient versioning with a chained version pool (CFL+82)
+//   bc92     — mv2pl plus an on-page version cache (BC92b)
+//   2vnl/nvnl — the paper's algorithm (adapter over core::VnlEngine)
+//
+// One maintenance transaction runs at a time (the warehouse assumption);
+// any number of reader sessions run concurrently from other threads.
+// Calls may block, depending on the engine — that blocking is precisely
+// what the Section 6 experiments measure.
+class WarehouseEngine {
+ public:
+  virtual ~WarehouseEngine() = default;
+
+  virtual std::string name() const = 0;
+  virtual const Schema& logical_schema() const = 0;
+
+  // --- Reader sessions -----------------------------------------------------
+  // A session must observe one consistent database state across all its
+  // reads (the paper's serializability requirement). Sessions that can no
+  // longer be served return kSessionExpired from reads.
+  virtual Result<uint64_t> OpenReader() = 0;
+  virtual Status CloseReader(uint64_t reader) = 0;
+  virtual Result<std::vector<Row>> ReadAll(uint64_t reader) = 0;
+  virtual Result<std::optional<Row>> ReadKey(uint64_t reader,
+                                             const Row& key) = 0;
+
+  // --- Maintenance transaction ----------------------------------------------
+  virtual Status BeginMaintenance() = 0;
+  // Reads the *latest* version of `key`, including this transaction's own
+  // uncommitted writes (what the incremental view-maintenance loop needs).
+  virtual Result<std::optional<Row>> MaintReadKey(const Row& key) = 0;
+  virtual Status MaintInsert(const Row& row) = 0;
+  // `row` carries the new full logical tuple; its key must equal `key`.
+  virtual Status MaintUpdate(const Row& key, const Row& row) = 0;
+  virtual Status MaintDelete(const Row& key) = 0;
+  virtual Status CommitMaintenance() = 0;
+
+  virtual EngineStorageStats StorageStats() const = 0;
+};
+
+}  // namespace wvm::baselines
+
+#endif  // OPENWVM_BASELINES_WAREHOUSE_ENGINE_H_

@@ -1,0 +1,47 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+namespace {
+std::string Canonical(const std::string& name) {
+  return ToLowerAscii(name);
+}
+}  // namespace
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::lock_guard lock(mu_);
+  const std::string key = Canonical(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), pool_);
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(Canonical(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (tables_.erase(Canonical(name)) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return tables_.count(Canonical(name)) > 0;
+}
+
+}  // namespace wvm

@@ -1,0 +1,38 @@
+#ifndef OPENWVM_CATALOG_CATALOG_H_
+#define OPENWVM_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace wvm {
+
+// Name -> table registry. One catalog per database instance; all engines
+// and the SQL layer resolve table names here.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+
+  BufferPool* buffer_pool() { return pool_; }
+
+ private:
+  BufferPool* const pool_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace wvm
+
+#endif  // OPENWVM_CATALOG_CATALOG_H_

@@ -1,0 +1,220 @@
+#include "catalog/schema.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace wvm {
+
+Schema::Schema(std::vector<Column> columns, std::vector<size_t> key_indices)
+    : columns_(std::move(columns)), key_indices_(std::move(key_indices)) {
+  for (Column& c : columns_) {
+    if (c.type != TypeId::kString) {
+      c.width = static_cast<uint16_t>(FixedTypeWidth(c.type));
+    } else {
+      WVM_CHECK_MSG(c.width > 0, "string column needs a declared width");
+    }
+  }
+  for (size_t k : key_indices_) {
+    WVM_CHECK_MSG(k < columns_.size(), "key index out of range");
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCaseAscii(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::vector<size_t> Schema::UpdatableIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].updatable) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Schema::AttributeBytes() const {
+  size_t total = 0;
+  for (const Column& c : columns_) total += c.width;
+  return total;
+}
+
+size_t Schema::RowByteSize() const {
+  return NullBitmapBytes() + AttributeBytes();
+}
+
+Row Schema::KeyOf(const Row& row) const {
+  Row key;
+  key.reserve(key_indices_.size());
+  for (size_t k : key_indices_) key.push_back(row[k]);
+  return key;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(StrPrintf(
+        "row has %zu values, schema has %zu columns", row.size(),
+        columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    const TypeId expect = columns_[i].type;
+    const TypeId got = row[i].type();
+    const bool numeric_ok = (expect == TypeId::kInt32 ||
+                             expect == TypeId::kInt64 ||
+                             expect == TypeId::kDouble) &&
+                            row[i].IsNumeric();
+    if (got != expect && !numeric_ok) {
+      return Status::InvalidArgument(StrPrintf(
+          "column '%s' expects %s, got %s", columns_[i].name.c_str(),
+          TypeIdToString(expect), TypeIdToString(got)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    std::string s = c.name + " " + TypeIdToString(c.type);
+    if (c.type == TypeId::kString) s += StrPrintf("(%u)", c.width);
+    if (c.updatable) s += " UPDATABLE";
+    parts.push_back(std::move(s));
+  }
+  std::string out = "(" + Join(parts, ", ") + ")";
+  if (!key_indices_.empty()) {
+    std::vector<std::string> keys;
+    for (size_t k : key_indices_) keys.push_back(columns_[k].name);
+    out += " KEY(" + Join(keys, ", ") + ")";
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  if (key_indices_ != other.key_indices_) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& a = columns_[i];
+    const Column& b = other.columns_[i];
+    if (a.name != b.name || a.type != b.type || a.width != b.width ||
+        a.updatable != b.updatable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void EncodeValue(const Column& col, const Value& v, uint8_t* slot) {
+  switch (col.type) {
+    case TypeId::kBool: {
+      slot[0] = v.AsBool() ? 1 : 0;
+      break;
+    }
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      const int32_t x = col.type == TypeId::kDate ? v.AsDateRaw()
+                                                  : v.AsInt32();
+      std::memcpy(slot, &x, 4);
+      break;
+    }
+    case TypeId::kInt64: {
+      const int64_t x = v.AsInt64();
+      std::memcpy(slot, &x, 8);
+      break;
+    }
+    case TypeId::kDouble: {
+      const double x = v.AsDouble();
+      std::memcpy(slot, &x, 8);
+      break;
+    }
+    case TypeId::kString: {
+      const std::string& s = v.AsString();
+      const size_t n = s.size() < col.width ? s.size() : col.width;
+      std::memcpy(slot, s.data(), n);
+      if (n < col.width) std::memset(slot + n, 0, col.width - n);
+      break;
+    }
+  }
+}
+
+Value DecodeValue(const Column& col, const uint8_t* slot) {
+  switch (col.type) {
+    case TypeId::kBool:
+      return Value::Bool(slot[0] != 0);
+    case TypeId::kInt32: {
+      int32_t x;
+      std::memcpy(&x, slot, 4);
+      return Value::Int32(x);
+    }
+    case TypeId::kDate: {
+      int32_t x;
+      std::memcpy(&x, slot, 4);
+      return Value::Date(x / 10000, (x / 100) % 100, x % 100);
+    }
+    case TypeId::kInt64: {
+      int64_t x;
+      std::memcpy(&x, slot, 8);
+      return Value::Int64(x);
+    }
+    case TypeId::kDouble: {
+      double x;
+      std::memcpy(&x, slot, 8);
+      return Value::Double(x);
+    }
+    case TypeId::kString: {
+      size_t len = 0;
+      while (len < col.width && slot[len] != 0) ++len;
+      return Value::String(
+          std::string(reinterpret_cast<const char*>(slot), len));
+    }
+  }
+  WVM_UNREACHABLE("bad column type");
+}
+
+}  // namespace
+
+void SerializeRow(const Schema& schema, const Row& row, uint8_t* out) {
+  WVM_CHECK(row.size() == schema.num_columns());
+  const size_t bitmap_bytes = schema.NullBitmapBytes();
+  std::memset(out, 0, bitmap_bytes);
+  uint8_t* slot = out + bitmap_bytes;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema.column(i);
+    if (row[i].is_null()) {
+      out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+      std::memset(slot, 0, col.width);
+    } else {
+      EncodeValue(col, row[i], slot);
+    }
+    slot += col.width;
+  }
+}
+
+Row DeserializeRow(const Schema& schema, const uint8_t* data) {
+  const size_t bitmap_bytes = schema.NullBitmapBytes();
+  const uint8_t* slot = data + bitmap_bytes;
+  Row row;
+  row.reserve(schema.num_columns());
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const Column& col = schema.column(i);
+    if (data[i / 8] & (1u << (i % 8))) {
+      row.push_back(Value::Null(col.type));
+    } else {
+      row.push_back(DecodeValue(col, slot));
+    }
+    slot += col.width;
+  }
+  return row;
+}
+
+}  // namespace wvm

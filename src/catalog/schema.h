@@ -1,0 +1,102 @@
+#ifndef OPENWVM_CATALOG_SCHEMA_H_
+#define OPENWVM_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace wvm {
+
+// Column definition. `width` is the fixed storage width in bytes (strings
+// are padded to their declared width so rows are fixed-size and can be
+// updated in place, which the paper's rewrite approach requires, §4).
+// `updatable` marks attributes a maintenance transaction may change; only
+// those get pre-update shadow columns under 2VNL (§3.1).
+struct Column {
+  std::string name;
+  TypeId type;
+  uint16_t width;
+  bool updatable = false;
+
+  static Column Bool(std::string name, bool updatable = false) {
+    return {std::move(name), TypeId::kBool, 1, updatable};
+  }
+  static Column Int32(std::string name, bool updatable = false) {
+    return {std::move(name), TypeId::kInt32, 4, updatable};
+  }
+  static Column Int64(std::string name, bool updatable = false) {
+    return {std::move(name), TypeId::kInt64, 8, updatable};
+  }
+  static Column Double(std::string name, bool updatable = false) {
+    return {std::move(name), TypeId::kDouble, 8, updatable};
+  }
+  static Column Date(std::string name, bool updatable = false) {
+    return {std::move(name), TypeId::kDate, 4, updatable};
+  }
+  static Column String(std::string name, uint16_t width,
+                       bool updatable = false) {
+    return {std::move(name), TypeId::kString, width, updatable};
+  }
+};
+
+// Relation schema: ordered columns plus an optional unique key (for summary
+// tables the key is the set of group-by attributes, which are never
+// updatable — §3.1).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Column> columns, std::vector<size_t> key_indices = {});
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const Column& column(size_t i) const { return columns_[i]; }
+  size_t num_columns() const { return columns_.size(); }
+
+  // Unique-key column positions; empty means no unique key.
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+  bool has_unique_key() const { return !key_indices_.empty(); }
+
+  // Position of a column by name, or kNotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  // Positions of all columns with updatable == true.
+  std::vector<size_t> UpdatableIndices() const;
+
+  // Sum of declared column widths — the paper's per-tuple byte count as
+  // used in Figure 3 (no alignment, no null bitmap).
+  size_t AttributeBytes() const;
+
+  // Physical serialized row size: null bitmap + attribute bytes.
+  size_t RowByteSize() const;
+  size_t NullBitmapBytes() const { return (columns_.size() + 7) / 8; }
+
+  // Extracts the key values of `row` in key-index order.
+  Row KeyOf(const Row& row) const;
+
+  // Validates that `row` matches the schema arity and column types
+  // (NULLs are allowed for any column).
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<size_t> key_indices_;
+};
+
+// Serializes `row` into exactly schema.RowByteSize() bytes at `out`.
+// Layout: null bitmap, then fixed-width column slots in schema order.
+// Strings longer than the declared width are truncated.
+void SerializeRow(const Schema& schema, const Row& row, uint8_t* out);
+
+// Inverse of SerializeRow.
+Row DeserializeRow(const Schema& schema, const uint8_t* data);
+
+}  // namespace wvm
+
+#endif  // OPENWVM_CATALOG_SCHEMA_H_

@@ -1,0 +1,34 @@
+#ifndef OPENWVM_COMMON_LOGGING_H_
+#define OPENWVM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These guard programmer errors (not user input,
+// which is reported via Status) and abort with a source location on failure.
+#define WVM_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "WVM_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define WVM_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "WVM_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define WVM_UNREACHABLE(msg)                                               \
+  do {                                                                     \
+    std::fprintf(stderr, "WVM_UNREACHABLE at %s:%d: %s\n", __FILE__,       \
+                 __LINE__, (msg));                                         \
+    std::abort();                                                          \
+  } while (0)
+
+#endif  // OPENWVM_COMMON_LOGGING_H_

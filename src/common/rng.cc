@@ -1,0 +1,37 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace wvm {
+
+namespace {
+double Zeta(size_t n, double theta) {
+  double sum = 0.0;
+  for (size_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+size_t Rng::Zipf(size_t n, double theta) {
+  WVM_CHECK(n > 0);
+  if (theta <= 0.0) return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = Zeta(n, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    const double zeta2 = Zeta(2, theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+  const double u = UniformDouble(0.0, 1.0);
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  const size_t idx = static_cast<size_t>(
+      static_cast<double>(n) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace wvm

@@ -1,0 +1,59 @@
+#ifndef OPENWVM_COMMON_RNG_H_
+#define OPENWVM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace wvm {
+
+// Deterministic random source for workload generation and property tests.
+// All distributions are seeded explicitly so every experiment is replayable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    WVM_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  // Picks an index in [0, n) with Zipfian skew `theta` in [0, 1).
+  // theta = 0 is uniform; larger values concentrate mass on low indices.
+  // Uses the standard rejection-free inverse-CDF approximation (YCSB-style).
+  size_t Zipf(size_t n, double theta);
+
+  template <typename T>
+  const T& PickFrom(const std::vector<T>& items) {
+    WVM_CHECK(!items.empty());
+    return items[static_cast<size_t>(Uniform(0, items.size() - 1))];
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  // Cached Zipf state, rebuilt when (n, theta) changes.
+  size_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace wvm
+
+#endif  // OPENWVM_COMMON_RNG_H_

@@ -1,0 +1,19 @@
+#include "common/sim_clock.h"
+
+#include <cstdio>
+
+namespace wvm {
+
+std::string SimTimeToString(SimTime t) {
+  const int64_t day = t / kMinutesPerDay;
+  const int64_t rem = t % kMinutesPerDay;
+  const int64_t hour = rem / kMinutesPerHour;
+  const int64_t minute = rem % kMinutesPerHour;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "day %lld %02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(hour),
+                static_cast<long long>(minute));
+  return buf;
+}
+
+}  // namespace wvm

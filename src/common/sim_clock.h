@@ -1,0 +1,47 @@
+#ifndef OPENWVM_COMMON_SIM_CLOCK_H_
+#define OPENWVM_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wvm {
+
+// Simulated time, in minutes since an arbitrary "day 0, 00:00".
+// The paper's schedules (Figures 1-2) are expressed in wall-clock hours;
+// experiments replay them on this clock so timelines are deterministic.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMinutesPerHour = 60;
+inline constexpr SimTime kMinutesPerDay = 24 * kMinutesPerHour;
+
+// Builds a SimTime from day-of-simulation and hh:mm.
+constexpr SimTime MakeSimTime(int day, int hour, int minute = 0) {
+  return day * kMinutesPerDay + hour * kMinutesPerHour + minute;
+}
+
+// "day 2 09:00" style rendering for timeline output.
+std::string SimTimeToString(SimTime t);
+
+// A monotonically advancing simulated clock (no wall-clock dependence).
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  // Moves time forward; time never goes backwards.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  void AdvanceBy(SimTime delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace wvm
+
+#endif  // OPENWVM_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace wvm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:                return "OK";
+    case StatusCode::kInvalidArgument:   return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:          return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:     return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:        return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kSessionExpired:    return "SESSION_EXPIRED";
+    case StatusCode::kConflict:          return "CONFLICT";
+    case StatusCode::kDeadlineExceeded:  return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted:           return "ABORTED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCorruption:        return "CORRUPTION";
+    case StatusCode::kUnimplemented:     return "UNIMPLEMENTED";
+    case StatusCode::kInternal:          return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace wvm

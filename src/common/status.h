@@ -1,0 +1,114 @@
+#ifndef OPENWVM_COMMON_STATUS_H_
+#define OPENWVM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace wvm {
+
+// Canonical error codes used throughout the library. The library does not
+// throw exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,       // e.g. unique-key conflict on insert
+  kOutOfRange,
+  kFailedPrecondition,  // e.g. operating on a committed transaction
+  kSessionExpired,      // reader overlapped too many maintenance txns (§3.2)
+  kConflict,            // lock conflict that cannot be waited out
+  kDeadlineExceeded,    // lock wait timeout (deadlock resolution)
+  kAborted,
+  kResourceExhausted,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+// Value-type status. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status SessionExpired(std::string m) {
+    return Status(StatusCode::kSessionExpired, std::move(m));
+  }
+  static Status Conflict(std::string m) {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace wvm
+
+// Propagates a non-OK status to the caller.
+#define WVM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::wvm::Status _wvm_status = (expr);           \
+    if (!_wvm_status.ok()) return _wvm_status;    \
+  } while (0)
+
+#define WVM_CONCAT_IMPL(a, b) a##b
+#define WVM_CONCAT(a, b) WVM_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on error returns the status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define WVM_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto WVM_CONCAT(_wvm_result_, __LINE__) = (expr);                \
+  if (!WVM_CONCAT(_wvm_result_, __LINE__).ok())                    \
+    return WVM_CONCAT(_wvm_result_, __LINE__).status();            \
+  lhs = std::move(WVM_CONCAT(_wvm_result_, __LINE__)).value()
+
+#endif  // OPENWVM_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef OPENWVM_COMMON_STRINGS_H_
+#define OPENWVM_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace wvm {
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// ASCII-only case conversion (SQL keywords are ASCII).
+std::string ToUpperAscii(std::string s);
+std::string ToLowerAscii(std::string s);
+
+bool EqualsIgnoreCaseAscii(const std::string& a, const std::string& b);
+
+}  // namespace wvm
+
+#endif  // OPENWVM_COMMON_STRINGS_H_

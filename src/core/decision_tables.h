@@ -1,0 +1,74 @@
+#ifndef OPENWVM_CORE_DECISION_TABLES_H_
+#define OPENWVM_CORE_DECISION_TABLES_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "core/version_meta.h"
+
+namespace wvm::core {
+
+// Reader-side decision (paper Table 1 + the three cases of §3.2).
+enum class ReaderAction {
+  kReadCurrent,
+  kReadPreUpdate,
+  kIgnore,
+  kExpired,
+};
+
+// Decides which tuple version a reader at `session_vn` extracts from a
+// 2VNL tuple stamped {tuple_vn, op}. (The nVNL generalization lives in
+// ReadVersion(); this is the exact 2VNL table, used both by the engine at
+// n == 2 and by the decision-table tests.)
+ReaderAction DecideRead(Vn session_vn, Vn tuple_vn, Op op);
+
+// Physical action a maintenance operation performs on a tuple (§3.3).
+enum class PhysicalAction {
+  kInsertTuple,    // insert a fresh physical tuple
+  kUpdateTuple,    // overwrite the tuple in place
+  kDeleteTuple,    // physically remove the tuple
+};
+
+// One cell of Tables 2-4: the physical action plus which bookkeeping
+// updates accompany it. Field names follow the paper's notation
+// (PV = pre-update values, CV = current values, MV = operation's values).
+struct MaintenanceDecision {
+  PhysicalAction action = PhysicalAction::kUpdateTuple;
+  bool push_back = false;       // nVNL only: shift slots before writing
+  bool pop_slot = false;        // nVNL only: undo a same-txn push
+  bool pv_from_cv = false;      // PV <- CV
+  bool pv_null = false;         // PV <- nulls
+  bool cv_from_mv = false;      // CV <- MV
+  bool set_tuple_vn = false;    // tupleVN <- maintenanceVN
+  std::optional<Op> new_op;     // operation <- value (net effect, §3.3)
+};
+
+// State of the conflicting/target tuple as seen by the maintenance txn.
+struct TupleVersionState {
+  Vn tuple_vn;
+  Op op;
+  // nVNL: whether any older version slot is populated. Always false for
+  // n == 2 (it only affects the delete-of-same-txn-insert cell).
+  bool has_older_slots = false;
+};
+
+// Table 2: logical insert. `existing` is the tuple with the same unique
+// key if one exists (std::nullopt = "No Conflicting Tuple" row, always
+// taken for tables without unique keys). "Impossible" cells — inserting
+// over a live tuple — surface as kAlreadyExists.
+Result<MaintenanceDecision> DecideInsert(
+    Vn maintenance_vn, const std::optional<TupleVersionState>& existing);
+
+// Table 3: logical update of a tuple the maintenance txn currently sees.
+// "Impossible" cells (updating a deleted tuple) surface as kInternal since
+// the cursor never yields logically-deleted tuples.
+Result<MaintenanceDecision> DecideUpdate(Vn maintenance_vn,
+                                         const TupleVersionState& state);
+
+// Table 4: logical delete.
+Result<MaintenanceDecision> DecideDelete(Vn maintenance_vn,
+                                         const TupleVersionState& state);
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_DECISION_TABLES_H_

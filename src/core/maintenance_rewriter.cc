@@ -1,0 +1,268 @@
+#include "core/maintenance_rewriter.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace wvm::core {
+
+namespace {
+
+// Evaluates a value expression that may only reference literals and
+// parameters (INSERT VALUES lists).
+Result<Value> EvalConstant(const sql::Expr& expr,
+                           const query::ParamMap& params) {
+  static const Schema kEmpty{};
+  static const Row kNoRow{};
+  return query::EvalExpr(expr, kEmpty, kNoRow, params);
+}
+
+// Coerces a value to a column's type where a lossless conversion exists
+// (string literals to DATE, integer literals to INT32/DOUBLE).
+Result<Value> CoerceToColumn(const Column& col, Value v) {
+  if (v.is_null()) return Value::Null(col.type);
+  if (v.type() == col.type) return v;
+  if (col.type == TypeId::kDate && v.type() == TypeId::kString) {
+    return Value::ParseDate(v.AsString());
+  }
+  if (col.type == TypeId::kInt32 && v.type() == TypeId::kInt64) {
+    return Value::Int32(static_cast<int32_t>(v.AsInt64()));
+  }
+  if (col.type == TypeId::kInt64 && v.type() == TypeId::kInt32) {
+    return Value::Int64(v.AsInt64());
+  }
+  if (col.type == TypeId::kDouble && v.IsNumeric()) {
+    return Value::Double(v.AsDouble());
+  }
+  return Status::InvalidArgument(StrPrintf(
+      "cannot store %s value into column '%s' of type %s",
+      TypeIdToString(v.type()), col.name.c_str(),
+      TypeIdToString(col.type)));
+}
+
+}  // namespace
+
+Result<Row> MaintenanceRewriter::BindInsertRow(
+    const Schema& logical, const sql::InsertStmt& stmt, size_t row_idx,
+    const query::ParamMap& params) const {
+  const std::vector<sql::ExprPtr>& exprs = stmt.rows[row_idx];
+
+  // Resolve target column positions (schema order when no list given).
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    if (exprs.size() != logical.num_columns()) {
+      return Status::InvalidArgument(StrPrintf(
+          "INSERT supplies %zu values for %zu columns", exprs.size(),
+          logical.num_columns()));
+    }
+    for (size_t i = 0; i < exprs.size(); ++i) targets.push_back(i);
+  } else {
+    if (exprs.size() != stmt.columns.size()) {
+      return Status::InvalidArgument("INSERT column/value count mismatch");
+    }
+    for (const std::string& name : stmt.columns) {
+      WVM_ASSIGN_OR_RETURN(size_t idx, logical.IndexOf(name));
+      targets.push_back(idx);
+    }
+  }
+
+  Row row(logical.num_columns());
+  for (size_t i = 0; i < logical.num_columns(); ++i) {
+    row[i] = Value::Null(logical.column(i).type);
+  }
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    WVM_ASSIGN_OR_RETURN(Value v, EvalConstant(*exprs[i], params));
+    WVM_ASSIGN_OR_RETURN(row[targets[i]],
+                         CoerceToColumn(logical.column(targets[i]),
+                                        std::move(v)));
+  }
+  return row;
+}
+
+Result<size_t> MaintenanceRewriter::ExecuteInsert(
+    MaintenanceTxn* txn, const sql::InsertStmt& stmt,
+    const query::ParamMap& params) {
+  WVM_ASSIGN_OR_RETURN(VnlTable * table, engine_->GetTable(stmt.table));
+  for (size_t r = 0; r < stmt.rows.size(); ++r) {
+    WVM_ASSIGN_OR_RETURN(
+        Row row, BindInsertRow(table->logical_schema(), stmt, r, params));
+    WVM_RETURN_IF_ERROR(table->Insert(txn, row));
+  }
+  return stmt.rows.size();
+}
+
+Result<size_t> MaintenanceRewriter::ExecuteUpdate(
+    MaintenanceTxn* txn, const sql::UpdateStmt& stmt,
+    const query::ParamMap& params) {
+  WVM_ASSIGN_OR_RETURN(VnlTable * table, engine_->GetTable(stmt.table));
+  const Schema& logical = table->logical_schema();
+
+  // Resolve SET targets up front.
+  std::vector<std::pair<size_t, const sql::Expr*>> sets;
+  for (const auto& [col, expr] : stmt.sets) {
+    WVM_ASSIGN_OR_RETURN(size_t idx, logical.IndexOf(col));
+    sets.emplace_back(idx, expr.get());
+  }
+
+  RowPredicate pred = [&](const Row& row) -> Result<bool> {
+    if (stmt.where == nullptr) return true;
+    return query::EvalPredicate(*stmt.where, logical, row, params);
+  };
+  RowTransform transform = [&](const Row& row) -> Result<Row> {
+    Row next = row;
+    for (const auto& [idx, expr] : sets) {
+      WVM_ASSIGN_OR_RETURN(Value v,
+                           query::EvalExpr(*expr, logical, row, params));
+      WVM_ASSIGN_OR_RETURN(next[idx],
+                           CoerceToColumn(logical.column(idx),
+                                          std::move(v)));
+    }
+    return next;
+  };
+  return table->Update(txn, pred, transform);
+}
+
+Result<size_t> MaintenanceRewriter::ExecuteDelete(
+    MaintenanceTxn* txn, const sql::DeleteStmt& stmt,
+    const query::ParamMap& params) {
+  WVM_ASSIGN_OR_RETURN(VnlTable * table, engine_->GetTable(stmt.table));
+  const Schema& logical = table->logical_schema();
+  RowPredicate pred = [&](const Row& row) -> Result<bool> {
+    if (stmt.where == nullptr) return true;
+    return query::EvalPredicate(*stmt.where, logical, row, params);
+  };
+  return table->Delete(txn, pred);
+}
+
+Result<size_t> MaintenanceRewriter::Execute(MaintenanceTxn* txn,
+                                            const std::string& sql_text,
+                                            const query::ParamMap& params) {
+  WVM_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(txn, *stmt.insert, params);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(txn, *stmt.update, params);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(txn, *stmt.del, params);
+    case sql::StatementKind::kSelect:
+      return Status::InvalidArgument(
+          "SELECT is a reader statement; use the reader rewrite (§4.1)");
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Result<std::string> MaintenanceRewriter::Explain(
+    const std::string& sql_text) const {
+  WVM_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+
+  const std::string table_name = [&] {
+    switch (stmt.kind) {
+      case sql::StatementKind::kInsert: return stmt.insert->table;
+      case sql::StatementKind::kUpdate: return stmt.update->table;
+      case sql::StatementKind::kDelete: return stmt.del->table;
+      default: return std::string();
+    }
+  }();
+  if (table_name.empty()) {
+    return Status::InvalidArgument("EXPLAIN supports maintenance DML only");
+  }
+  WVM_ASSIGN_OR_RETURN(VnlTable * table, engine_->GetTable(table_name));
+  const Schema& logical = table->logical_schema();
+  const std::vector<size_t> updatable = logical.UpdatableIndices();
+
+  // Renders "set r.pre_X = <rhs>" lines for every updatable attribute;
+  // rhs is "null" (inserts) or "r.X" (updates/deletes preserve CV).
+  auto pre_assignments = [&](bool from_current) {
+    std::string out;
+    for (size_t u : updatable) {
+      const std::string& name = logical.column(u).name;
+      const std::string rhs = from_current ? "r." + name : "null";
+      out += StrPrintf("    set r.pre_%s = %s\n", name.c_str(),
+                       rhs.c_str());
+    }
+    return out;
+  };
+
+  std::string out;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert: {
+      // Example 4.2 shape.
+      out += "For each tuple t to insert\n";
+      out += "  INSERT INTO " + table_name +
+             " VALUES (:maintenanceVN, 'insert', t.*, null pre-update "
+             "values)          % line 3 in Table 2\n";
+      out += "  If insert failed due to a unique key conflict,\n";
+      out += "    Let r = the conflicting tuple (same key as t)\n";
+      out += "    If r.tupleVN < :maintenanceVN,"
+             "                                    % line 1 in Table 2\n";
+      out += "      Update r\n";
+      out += pre_assignments(false);
+      out += "        set r.<updatable> = t.<updatable>\n";
+      out += "        set r.tupleVN = :maintenanceVN\n";
+      out += "        set r.operation = 'insert'\n";
+      out += "    Else"
+             "                                                          "
+             "% line 2 in Table 2\n";
+      out += "      Update r\n";
+      out += "        set r.<updatable> = t.<updatable>\n";
+      out += "        set r.operation = 'update'\n";
+      return out;
+    }
+    case sql::StatementKind::kUpdate: {
+      // Example 4.3 shape.
+      sql::SelectStmt cursor;
+      cursor.select_star = true;
+      cursor.table = table_name;
+      if (stmt.update->where != nullptr) {
+        cursor.where = stmt.update->where->Clone();
+      }
+      out += "For each tuple r in\n  (" + cursor.ToSql() + ")\n";
+      out += "  If r.tupleVN < :maintenanceVN,"
+             "                                    % line 1 in Table 3\n";
+      out += "    Update r\n";
+      out += pre_assignments(true);
+      for (const auto& [col, expr] : stmt.update->sets) {
+        out += StrPrintf("    set r.%s = %s\n", col.c_str(),
+                         expr->ToSql().c_str());
+      }
+      out += "    set r.tupleVN = :maintenanceVN\n";
+      out += "    set r.operation = 'update'\n";
+      out += "  Else"
+             "                                                          "
+             "% line 2 in Table 3\n";
+      out += "    Update r\n";
+      for (const auto& [col, expr] : stmt.update->sets) {
+        out += StrPrintf("      set r.%s = %s\n", col.c_str(),
+                         expr->ToSql().c_str());
+      }
+      return out;
+    }
+    case sql::StatementKind::kDelete: {
+      // Example 4.4 shape.
+      sql::SelectStmt cursor;
+      cursor.select_star = true;
+      cursor.table = table_name;
+      if (stmt.del->where != nullptr) cursor.where = stmt.del->where->Clone();
+      out += "For each tuple r in\n  (" + cursor.ToSql() + ")\n";
+      out += "  If r.tupleVN < :maintenanceVN,"
+             "                                    % line 1 in Table 4\n";
+      out += "    Update r\n";
+      out += pre_assignments(true);
+      out += "    set r.tupleVN = :maintenanceVN\n";
+      out += "    set r.operation = 'delete'\n";
+      out += "  Else"
+             "                                                          "
+             "% line 2 in Table 4\n";
+      out += "    If r.operation = 'insert'\n";
+      out += "      Delete r\n";
+      out += "    Else\n";
+      out += "      Update r\n";
+      out += "        set r.operation = 'delete'\n";
+      return out;
+    }
+    default:
+      return Status::InvalidArgument("EXPLAIN supports maintenance DML only");
+  }
+}
+
+}  // namespace wvm::core

@@ -1,0 +1,54 @@
+#ifndef OPENWVM_CORE_MAINTENANCE_REWRITER_H_
+#define OPENWVM_CORE_MAINTENANCE_REWRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/vnl_engine.h"
+#include "query/eval.h"
+
+namespace wvm::core {
+
+// Implements §4.2: SQL INSERT / UPDATE / DELETE statements issued by a
+// maintenance transaction against the *logical* schema are executed with
+// the cursor approach of Examples 4.2-4.4 — each affected tuple is
+// dispatched through the decision tables so both versions are preserved.
+//
+// Explain() renders the cursor pseudocode for a statement in the style of
+// the paper's examples, which doubles as executable documentation.
+class MaintenanceRewriter {
+ public:
+  explicit MaintenanceRewriter(VnlEngine* engine) : engine_(engine) {}
+
+  // Parses and executes one maintenance statement inside `txn`.
+  // Parameters may be referenced as :name in the statement. Returns the
+  // number of logical tuples affected.
+  Result<size_t> Execute(MaintenanceTxn* txn, const std::string& sql_text,
+                         const query::ParamMap& params = {});
+
+  // Renders the rewritten cursor pseudocode for a statement (Example 4.2
+  // for INSERT, 4.3 for UPDATE, 4.4 for DELETE).
+  Result<std::string> Explain(const std::string& sql_text) const;
+
+ private:
+  Result<size_t> ExecuteInsert(MaintenanceTxn* txn,
+                               const sql::InsertStmt& stmt,
+                               const query::ParamMap& params);
+  Result<size_t> ExecuteUpdate(MaintenanceTxn* txn,
+                               const sql::UpdateStmt& stmt,
+                               const query::ParamMap& params);
+  Result<size_t> ExecuteDelete(MaintenanceTxn* txn,
+                               const sql::DeleteStmt& stmt,
+                               const query::ParamMap& params);
+
+  // Maps an INSERT row of expressions onto the logical schema.
+  Result<Row> BindInsertRow(const Schema& logical,
+                            const sql::InsertStmt& stmt, size_t row_idx,
+                            const query::ParamMap& params) const;
+
+  VnlEngine* const engine_;
+};
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_MAINTENANCE_REWRITER_H_

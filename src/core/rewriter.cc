@@ -1,0 +1,178 @@
+#include "core/rewriter.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace wvm::core {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprPtr;
+
+// :session >= tupleVN_k
+ExprPtr SessionGeSlot(const VersionedSchema& vs, int slot,
+                      const std::string& param) {
+  return sql::Binary(
+      BinaryOp::kGe, sql::Param(param),
+      sql::Col(TupleVnColumnName(slot, vs.n())));
+}
+
+// :session < tupleVN_k
+ExprPtr SessionLtSlot(const VersionedSchema& vs, int slot,
+                      const std::string& param) {
+  return sql::Binary(
+      BinaryOp::kLt, sql::Param(param),
+      sql::Col(TupleVnColumnName(slot, vs.n())));
+}
+
+// operation_k <> 'op'
+ExprPtr OpNe(const VersionedSchema& vs, int slot, Op op) {
+  return sql::Binary(BinaryOp::kNe,
+                     sql::Col(OperationColumnName(slot, vs.n())),
+                     sql::LitStr(OpToString(op)));
+}
+
+// Ordinal of `logical_col` among the updatable columns.
+Result<size_t> UpdatableOrdinal(const VersionedSchema& vs,
+                                size_t logical_col) {
+  for (size_t u = 0; u < vs.updatable().size(); ++u) {
+    if (vs.updatable()[u] == logical_col) return u;
+  }
+  return Status::Internal("column is not updatable");
+}
+
+}  // namespace
+
+sql::ExprPtr BuildVersionCase(const VersionedSchema& vschema,
+                              size_t logical_col,
+                              const std::string& session_param) {
+  const std::string& name = vschema.logical().column(logical_col).name;
+  Result<size_t> ordinal = UpdatableOrdinal(vschema, logical_col);
+  WVM_CHECK(ordinal.ok());
+  (void)ordinal;
+
+  // CASE WHEN :s >= tupleVN1 THEN A
+  //      WHEN :s >= tupleVN2 THEN pre_A1
+  //      ...
+  //      ELSE pre_A{n-1} END
+  // For n = 2 this is exactly the paper's
+  //   CASE WHEN :sessionVN >= tupleVN THEN A ELSE pre_A END.
+  std::vector<sql::CaseWhen> whens;
+  whens.push_back({SessionGeSlot(vschema, 0, session_param),
+                   sql::Col(name)});
+  for (int slot = 1; slot < vschema.num_slots(); ++slot) {
+    whens.push_back(
+        {SessionGeSlot(vschema, slot, session_param),
+         sql::Col(PreColumnName(name, slot - 1, vschema.n()))});
+  }
+  ExprPtr else_expr =
+      sql::Col(PreColumnName(name, vschema.num_slots() - 1, vschema.n()));
+  return sql::Case(std::move(whens), std::move(else_expr));
+}
+
+sql::ExprPtr BuildVisibilityPredicate(const VersionedSchema& vschema,
+                                      const std::string& session_param) {
+  // Disjunct for the current version:
+  //   :s >= tupleVN1 AND operation1 <> 'delete'
+  ExprPtr pred = sql::Binary(BinaryOp::kAnd,
+                             SessionGeSlot(vschema, 0, session_param),
+                             OpNe(vschema, 0, Op::kDelete));
+  // One disjunct per pre-update slot k:
+  //   :s < tupleVN_k [AND :s >= tupleVN_{k+1}] AND operation_k <> 'insert'
+  for (int slot = 0; slot < vschema.num_slots(); ++slot) {
+    ExprPtr d = SessionLtSlot(vschema, slot, session_param);
+    if (slot + 1 < vschema.num_slots()) {
+      d = sql::Binary(BinaryOp::kAnd, std::move(d),
+                      SessionGeSlot(vschema, slot + 1, session_param));
+    }
+    d = sql::Binary(BinaryOp::kAnd, std::move(d),
+                    OpNe(vschema, slot, Op::kInsert));
+    pred = sql::Binary(BinaryOp::kOr, std::move(pred), std::move(d));
+  }
+  return pred;
+}
+
+namespace {
+
+// Recursively replaces references to updatable attributes with their
+// version-extracting CASE expressions.
+Status RewriteExpr(ExprPtr* expr, const VersionedSchema& vs,
+                   const std::string& session_param) {
+  Expr& e = **expr;
+  switch (e.kind) {
+    case sql::ExprKind::kColumnRef: {
+      Result<size_t> idx = vs.logical().IndexOf(e.column);
+      if (!idx.ok()) {
+        return Status::InvalidArgument("unknown column '" + e.column +
+                                       "' in reader query");
+      }
+      if (vs.logical().column(idx.value()).updatable) {
+        *expr = BuildVersionCase(vs, idx.value(), session_param);
+      }
+      return Status::OK();
+    }
+    case sql::ExprKind::kLiteral:
+    case sql::ExprKind::kParam:
+      return Status::OK();
+    default: {
+      if (e.child0 != nullptr) {
+        WVM_RETURN_IF_ERROR(RewriteExpr(&e.child0, vs, session_param));
+      }
+      if (e.child1 != nullptr) {
+        WVM_RETURN_IF_ERROR(RewriteExpr(&e.child1, vs, session_param));
+      }
+      for (sql::CaseWhen& w : e.whens) {
+        WVM_RETURN_IF_ERROR(RewriteExpr(&w.condition, vs, session_param));
+        WVM_RETURN_IF_ERROR(RewriteExpr(&w.result, vs, session_param));
+      }
+      if (e.else_expr != nullptr) {
+        WVM_RETURN_IF_ERROR(RewriteExpr(&e.else_expr, vs, session_param));
+      }
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace
+
+Result<sql::SelectStmt> RewriteReaderQuery(
+    const sql::SelectStmt& stmt, const VersionedSchema& vschema,
+    const ReaderRewriteOptions& options) {
+  sql::SelectStmt out = stmt.Clone();
+
+  if (out.select_star) {
+    // Expand * to the logical columns so bookkeeping columns stay hidden.
+    out.select_star = false;
+    for (const Column& c : vschema.logical().columns()) {
+      out.items.push_back({sql::Col(c.name), /*alias=*/""});
+    }
+  }
+
+  for (sql::SelectItem& item : out.items) {
+    WVM_RETURN_IF_ERROR(
+        RewriteExpr(&item.expr, vschema, options.session_param));
+  }
+  if (out.where != nullptr) {
+    WVM_RETURN_IF_ERROR(
+        RewriteExpr(&out.where, vschema, options.session_param));
+  }
+  for (const std::string& g : out.group_by) {
+    WVM_ASSIGN_OR_RETURN(size_t idx, vschema.logical().IndexOf(g));
+    if (vschema.logical().column(idx).updatable) {
+      return Status::Unimplemented(
+          "GROUP BY on an updatable attribute cannot be rewritten "
+          "(the paper's summary tables group only by key attributes)");
+    }
+  }
+
+  // WHERE (visibility) [AND (original condition)] — Example 4.1 adds the
+  // visibility condition; an existing predicate is conjoined.
+  ExprPtr visibility =
+      BuildVisibilityPredicate(vschema, options.session_param);
+  out.where = sql::AndMaybe(std::move(visibility), std::move(out.where));
+  return out;
+}
+
+}  // namespace wvm::core

@@ -1,0 +1,52 @@
+#ifndef OPENWVM_CORE_REWRITER_H_
+#define OPENWVM_CORE_REWRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/versioned_schema.h"
+#include "sql/ast.h"
+
+namespace wvm::core {
+
+// Options for the §4.1 reader-query rewrite.
+struct ReaderRewriteOptions {
+  // Name of the placeholder carrying the reader's sessionVN; the paper
+  // uses :sessionVN.
+  std::string session_param = "sessionVN";
+};
+
+// Rewrites a reader SELECT posed against the *logical* schema into an
+// equivalent SELECT against the *widened physical* schema (§4.1):
+//
+//  * every reference to an updatable attribute A becomes
+//      CASE WHEN :sessionVN >= tupleVN THEN A ELSE pre_A END
+//  * a visibility condition is ANDed into the WHERE clause:
+//      (:sessionVN >= tupleVN AND operation <> 'delete') OR
+//      (:sessionVN < tupleVN AND operation <> 'insert')
+//
+// For n > 2 the rewrite generalizes (our extension; the paper sketches
+// only the n = 2 SQL): the CASE cascades through the version slots and the
+// visibility condition gains one disjunct per slot.
+//
+// As the paper notes, the rewritten query alone cannot detect expiration
+// (§3.2 case 3 would need an exception); callers must also run the global
+// check (SessionManager::CheckNotExpired). Under that check the rewrite
+// is exact — property-tested against the native engine path.
+Result<sql::SelectStmt> RewriteReaderQuery(
+    const sql::SelectStmt& stmt, const VersionedSchema& vschema,
+    const ReaderRewriteOptions& options = {});
+
+// Builds just the visibility predicate (exposed for tests and EXPLAIN).
+sql::ExprPtr BuildVisibilityPredicate(const VersionedSchema& vschema,
+                                      const std::string& session_param);
+
+// Builds the version-extracting CASE expression for one updatable
+// attribute (exposed for tests and EXPLAIN).
+sql::ExprPtr BuildVersionCase(const VersionedSchema& vschema,
+                              size_t logical_col,
+                              const std::string& session_param);
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_REWRITER_H_

@@ -1,0 +1,76 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wvm::core {
+
+ReaderSession SessionManager::Open() {
+  // Read currentVN exactly as a client of the rewrite implementation
+  // would: from the Version relation. The read and the registration must
+  // be one atomic step with respect to MinActiveSessionVn, or a garbage
+  // collector running in between could miss the new session and reclaim
+  // tuple versions it still needs.
+  std::lock_guard lock(mu_);
+  const Vn vn = version_relation_->Read().current_vn;
+  ReaderSession session{next_id_++, vn};
+  active_[session.id] = vn;
+  return session;
+}
+
+void SessionManager::Close(const ReaderSession& session) {
+  std::lock_guard lock(mu_);
+  active_.erase(session.id);
+}
+
+Status SessionManager::CheckNotExpired(const ReaderSession& session) const {
+  {
+    std::lock_guard lock(mu_);
+    if (session.session_vn < force_expired_below_) {
+      return Status::SessionExpired(
+          "session invalidated by a maintenance rollback");
+    }
+  }
+  // Generalized §4.1 condition: with n versions a session survives n-1
+  // maintenance commits, one fewer while a maintenance txn is active.
+  // For n = 2 this is exactly: sessionVN == currentVN, or
+  // (sessionVN == currentVN - 1 and not maintenanceActive).
+  const VersionRelation::Snapshot snap = version_relation_->Read();
+  const Vn oldest_valid =
+      snap.current_vn - (n_ - 1) + (snap.maintenance_active ? 1 : 0);
+  const bool valid = session.session_vn >= oldest_valid &&
+                     session.session_vn <= snap.current_vn;
+  if (valid) return Status::OK();
+  return Status::SessionExpired(StrPrintf(
+      "sessionVN=%lld expired (currentVN=%lld, maintenanceActive=%s)",
+      static_cast<long long>(session.session_vn),
+      static_cast<long long>(snap.current_vn),
+      snap.maintenance_active ? "true" : "false"));
+}
+
+Vn SessionManager::MinActiveSessionVn(Vn fallback) const {
+  std::lock_guard lock(mu_);
+  if (active_.empty()) return fallback;
+  Vn min_vn = fallback;
+  bool first = true;
+  for (const auto& [id, vn] : active_) {
+    if (first || vn < min_vn) {
+      min_vn = vn;
+      first = false;
+    }
+  }
+  return min_vn;
+}
+
+size_t SessionManager::active_sessions() const {
+  std::lock_guard lock(mu_);
+  return active_.size();
+}
+
+void SessionManager::ForceExpireBelow(Vn vn) {
+  std::lock_guard lock(mu_);
+  force_expired_below_ = std::max(force_expired_below_, vn);
+}
+
+}  // namespace wvm::core

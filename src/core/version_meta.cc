@@ -1,0 +1,37 @@
+#include "core/version_meta.h"
+
+namespace wvm::core {
+
+const char* OpToString(Op op) {
+  switch (op) {
+    case Op::kInsert: return "insert";
+    case Op::kUpdate: return "update";
+    case Op::kDelete: return "delete";
+  }
+  return "?";
+}
+
+Result<Op> OpFromString(const std::string& s) {
+  if (s == "insert") return Op::kInsert;
+  if (s == "update") return Op::kUpdate;
+  if (s == "delete") return Op::kDelete;
+  return Status::Corruption("bad operation value '" + s + "'");
+}
+
+std::string TupleVnColumnName(int slot, int n) {
+  if (n == 2) return kTupleVnName;
+  return std::string(kTupleVnName) + std::to_string(slot + 1);
+}
+
+std::string OperationColumnName(int slot, int n) {
+  if (n == 2) return kOperationName;
+  return std::string(kOperationName) + std::to_string(slot + 1);
+}
+
+std::string PreColumnName(const std::string& logical_name, int slot, int n) {
+  std::string name = std::string(kPrePrefix) + logical_name;
+  if (n == 2) return name;
+  return name + std::to_string(slot + 1);
+}
+
+}  // namespace wvm::core

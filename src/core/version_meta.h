@@ -1,0 +1,44 @@
+#ifndef OPENWVM_CORE_VERSION_META_H_
+#define OPENWVM_CORE_VERSION_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace wvm::core {
+
+// Database / maintenance version numbers (the paper's currentVN,
+// maintenanceVN, sessionVN, tupleVN). Version 0 is "before any data";
+// the initial load runs as maintenance transaction 1.
+using Vn = int64_t;
+inline constexpr Vn kNoVn = 0;
+
+// The logical operation recorded in a tuple's `operation` attribute (§3).
+enum class Op : uint8_t {
+  kInsert = 0,
+  kUpdate = 1,
+  kDelete = 2,
+};
+
+// Stored / SQL representation ("insert" / "update" / "delete"), matching
+// the paper's rewritten queries (e.g. operation <> 'delete').
+const char* OpToString(Op op);
+Result<Op> OpFromString(const std::string& s);
+
+// Column-name conventions from §3.1 / Figure 3 / Figure 7.
+inline constexpr const char* kTupleVnName = "tupleVN";
+inline constexpr const char* kOperationName = "operation";
+inline constexpr const char* kPrePrefix = "pre_";
+// Width of the stored operation string ("insert"/"update"/"delete").
+inline constexpr uint16_t kOperationWidth = 6;
+
+// Name of the i-th version group's column (1-based suffix for n > 2,
+// unsuffixed for the 2VNL case, exactly as the paper prints them).
+std::string TupleVnColumnName(int slot, int n);
+std::string OperationColumnName(int slot, int n);
+std::string PreColumnName(const std::string& logical_name, int slot, int n);
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_VERSION_META_H_

@@ -1,0 +1,65 @@
+#ifndef OPENWVM_CORE_VERSION_RELATION_H_
+#define OPENWVM_CORE_VERSION_RELATION_H_
+
+#include <memory>
+#include <mutex>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "core/version_meta.h"
+
+namespace wvm::core {
+
+// The paper's §4 global state: a single-tuple, two-attribute Version
+// relation holding {currentVN, maintenanceActive}. It is stored in the
+// database (through the buffer pool, so reads of it are counted I/O, just
+// like the query-rewrite implementation the paper describes) and guarded
+// by a latch for the in-memory fast path.
+class VersionRelation {
+ public:
+  // Creates the relation with currentVN = initial_vn, maintenanceActive =
+  // false. The paper initializes currentVN to 1; we start at kNoVn = 0 so
+  // the initial bulk load itself runs as maintenance transaction 1.
+  static Result<std::unique_ptr<VersionRelation>> Create(BufferPool* pool,
+                                                         Vn initial_vn = 0);
+
+  Vn current_vn() const;
+  bool maintenance_active() const;
+
+  // Snapshot both attributes atomically (what a reader's global
+  // expiration check reads, §4.1).
+  struct Snapshot {
+    Vn current_vn;
+    bool maintenance_active;
+  };
+  Snapshot Read() const;
+
+  // Marks a maintenance transaction active. Fails if one already is —
+  // the "external protocol" of §2.2 that serializes writers.
+  Result<Vn> BeginMaintenance();  // returns maintenanceVN = currentVN + 1
+
+  // Publishes maintenanceVN as the new currentVN and clears the flag.
+  // When `separate_txn` is true this mimics the paper's suggested fix for
+  // the abort anomaly: currentVN is updated only after the maintenance
+  // transaction is durably finished (modelled here as a distinct write).
+  Status CommitMaintenance(Vn maintenance_vn);
+
+  // Clears the flag without advancing currentVN (abort path).
+  Status AbortMaintenance();
+
+ private:
+  VersionRelation() = default;
+
+  // Writes the in-memory state through to the stored tuple.
+  void Persist();
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Table> table_;
+  Rid rid_;
+  Vn current_vn_ = 0;
+  bool maintenance_active_ = false;
+};
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_VERSION_RELATION_H_

@@ -1,0 +1,128 @@
+#include "core/vnl_engine.h"
+
+#include <thread>
+
+#include "common/strings.h"
+
+namespace wvm::core {
+
+Result<std::unique_ptr<VnlEngine>> VnlEngine::Create(BufferPool* pool,
+                                                     int n) {
+  if (n < 2) return Status::InvalidArgument("nVNL requires n >= 2");
+  WVM_ASSIGN_OR_RETURN(auto version_relation,
+                       VersionRelation::Create(pool, /*initial_vn=*/0));
+  return std::unique_ptr<VnlEngine>(
+      new VnlEngine(pool, n, std::move(version_relation)));
+}
+
+Result<VnlTable*> VnlEngine::CreateTable(const std::string& name,
+                                         Schema logical) {
+  WVM_ASSIGN_OR_RETURN(VersionedSchema vschema,
+                       VersionedSchema::Create(std::move(logical), n_));
+  std::lock_guard lock(mu_);
+  const std::string key = ToLowerAscii(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::unique_ptr<VnlTable>(
+      new VnlTable(name, std::move(vschema), pool_, &sessions_));
+  VnlTable* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<VnlTable*> VnlEngine::GetTable(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<MaintenanceTxn*> VnlEngine::BeginMaintenance() {
+  std::lock_guard lock(mu_);
+  if (active_txn_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a maintenance transaction is already active");
+  }
+  WVM_ASSIGN_OR_RETURN(Vn vn, version_relation_->BeginMaintenance());
+  active_txn_.reset(new MaintenanceTxn(this, vn));
+  return active_txn_.get();
+}
+
+Status VnlEngine::Commit(MaintenanceTxn* txn) {
+  std::lock_guard lock(mu_);
+  if (txn == nullptr || txn != active_txn_.get() || !txn->active()) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  WVM_RETURN_IF_ERROR(version_relation_->CommitMaintenance(txn->vn()));
+  txn->active_ = false;
+  active_txn_.reset();
+  return Status::OK();
+}
+
+Status VnlEngine::CommitWhenQuiescent(MaintenanceTxn* txn,
+                                      std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      if (txn == nullptr || txn != active_txn_.get() || !txn->active()) {
+        return Status::FailedPrecondition("transaction is not active");
+      }
+      if (sessions_.active_sessions() == 0) {
+        WVM_RETURN_IF_ERROR(version_relation_->CommitMaintenance(txn->vn()));
+        txn->active_ = false;
+        active_txn_.reset();
+        return Status::OK();
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "reader sessions are starving the maintenance commit (§2.1)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+Status VnlEngine::Abort(MaintenanceTxn* txn) {
+  std::lock_guard lock(mu_);
+  if (txn == nullptr || txn != active_txn_.get() || !txn->active()) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  const Vn current = version_relation_->current_vn();
+  bool lossless = true;
+  for (auto& [name, table] : tables_) {
+    lossless &= table->RollbackTxn(txn->vn(), current);
+  }
+  if (!lossless) {
+    // Sessions older than the still-current version cannot be served
+    // faithfully after an imprecise revert (§7 / DESIGN.md).
+    sessions_.ForceExpireBelow(current);
+  }
+  WVM_RETURN_IF_ERROR(version_relation_->AbortMaintenance());
+  txn->active_ = false;
+  active_txn_.reset();
+  return Status::OK();
+}
+
+VnlEngine::GcStats VnlEngine::CollectGarbage() {
+  std::lock_guard lock(mu_);
+  // GC must not overlap a maintenance transaction: the writer may
+  // re-insert over a logically deleted tuple the collector has already
+  // chosen as a victim, and the physical delete would then kill a live
+  // tuple. Holding mu_ keeps BeginMaintenance out for the duration; if a
+  // transaction is already active, defer to the next gap — the paper's
+  // "periodically running a process" (§3.3) runs between transactions.
+  if (active_txn_ != nullptr) return GcStats{};
+  const Vn current = version_relation_->current_vn();
+  const Vn min_session = sessions_.MinActiveSessionVn(/*fallback=*/current);
+  GcStats stats;
+  for (auto& [name, table] : tables_) {
+    stats.tuples_reclaimed += table->CollectGarbage(current, min_session);
+  }
+  return stats;
+}
+
+}  // namespace wvm::core

@@ -1,0 +1,107 @@
+#ifndef OPENWVM_CORE_VNL_ENGINE_H_
+#define OPENWVM_CORE_VNL_ENGINE_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/session.h"
+#include "core/version_relation.h"
+#include "core/vnl_table.h"
+
+namespace wvm::core {
+
+// The paper's warehouse database under nVNL concurrency control:
+//  * a set of versioned relations sharing one Version relation and one
+//    session manager,
+//  * one maintenance transaction at a time (no locks; §2.2),
+//  * reader sessions that never block and never place locks,
+//  * §7 extensions: garbage collection and rollback without logging.
+//
+// n = 2 is the paper's 2VNL algorithm; larger n trades storage for longer
+// guaranteed session lifetimes (§5).
+class VnlEngine {
+ public:
+  // `pool` must outlive the engine.
+  static Result<std::unique_ptr<VnlEngine>> Create(BufferPool* pool,
+                                                   int n = 2);
+
+  VnlEngine(const VnlEngine&) = delete;
+  VnlEngine& operator=(const VnlEngine&) = delete;
+
+  int n() const { return n_; }
+  Vn current_vn() const { return version_relation_->current_vn(); }
+
+  // --- Schema --------------------------------------------------------------
+
+  Result<VnlTable*> CreateTable(const std::string& name, Schema logical);
+  Result<VnlTable*> GetTable(const std::string& name) const;
+
+  // --- Reader sessions ------------------------------------------------------
+
+  ReaderSession OpenSession() { return sessions_.Open(); }
+  void CloseSession(const ReaderSession& s) { sessions_.Close(s); }
+  // Global pessimistic expiration check (§4.1).
+  Status CheckSession(const ReaderSession& s) const {
+    return sessions_.CheckNotExpired(s);
+  }
+  SessionManager* session_manager() { return &sessions_; }
+  VersionRelation* version_relation() { return version_relation_.get(); }
+
+  // --- Maintenance transactions ---------------------------------------------
+
+  // Starts the (single) maintenance transaction. Fails with
+  // kFailedPrecondition while another is active.
+  Result<MaintenanceTxn*> BeginMaintenance();
+
+  // Publishes the transaction's version: its writes become the current
+  // database version and the previous version stays readable.
+  Status Commit(MaintenanceTxn* txn);
+
+  // §2.1 alternative commit policy: waits until no reader session is
+  // active before committing, so sessions never expire — at the price of
+  // readers being able to starve the maintenance transaction (bounded
+  // here by `timeout`, after which kDeadlineExceeded is returned and the
+  // transaction remains active for a later retry or plain Commit).
+  Status CommitWhenQuiescent(MaintenanceTxn* txn,
+                             std::chrono::milliseconds timeout);
+
+  // Rolls the transaction back *without any undo log* by reverting tuples
+  // to their saved pre-update versions (§7). Reader sessions whose
+  // versions cannot be faithfully reconstructed are force-expired; with
+  // n > 2 and intact history slots the revert is lossless.
+  Status Abort(MaintenanceTxn* txn);
+
+  // --- Garbage collection (§7) -----------------------------------------------
+
+  struct GcStats {
+    size_t tuples_reclaimed = 0;
+  };
+  // Physically removes logically deleted tuples no active or future
+  // session can read. Safe to run concurrently with readers.
+  GcStats CollectGarbage();
+
+ private:
+  VnlEngine(BufferPool* pool, int n,
+            std::unique_ptr<VersionRelation> version_relation)
+      : pool_(pool),
+        n_(n),
+        version_relation_(std::move(version_relation)),
+        sessions_(version_relation_.get(), n) {}
+
+  BufferPool* const pool_;
+  const int n_;
+  std::unique_ptr<VersionRelation> version_relation_;
+  SessionManager sessions_;
+
+  mutable std::mutex mu_;  // guards tables_ and active_txn_
+  std::map<std::string, std::unique_ptr<VnlTable>> tables_;
+  std::unique_ptr<MaintenanceTxn> active_txn_;
+};
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_VNL_ENGINE_H_

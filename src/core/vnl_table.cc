@@ -1,0 +1,441 @@
+#include "core/vnl_table.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/vnl_engine.h"
+
+namespace wvm::core {
+
+VnlTable::VnlTable(std::string name, VersionedSchema vschema,
+                   BufferPool* pool, SessionManager* sessions)
+    : name_(std::move(name)),
+      vschema_(std::move(vschema)),
+      phys_(std::make_unique<Table>(name_, vschema_.physical(), pool)),
+      sessions_(sessions) {}
+
+Status VnlTable::CheckTxn(const MaintenanceTxn* txn) const {
+  if (txn == nullptr || !txn->active()) {
+    return Status::FailedPrecondition(
+        "operation requires an active maintenance transaction");
+  }
+  return Status::OK();
+}
+
+std::optional<Rid> VnlTable::IndexLookup(const Row& key) const {
+  if (!vschema_.logical().has_unique_key()) return std::nullopt;
+  std::lock_guard lock(index_mu_);
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void VnlTable::IndexInsert(const Row& key, Rid rid) {
+  if (!vschema_.logical().has_unique_key()) return;
+  std::lock_guard lock(index_mu_);
+  key_index_[key] = rid;
+}
+
+void VnlTable::IndexErase(const Row& key) {
+  if (!vschema_.logical().has_unique_key()) return;
+  std::lock_guard lock(index_mu_);
+  key_index_.erase(key);
+}
+
+Status VnlTable::ApplyDecision(MaintenanceTxn* txn,
+                               const MaintenanceDecision& d, Rid rid,
+                               Row phys, const Row* mv_logical) {
+  // Order matters: preserve the old version (push back / PV <- CV) before
+  // overwriting the current values.
+  if (d.push_back) vschema_.PushBack(&phys);
+  if (d.pv_from_cv) vschema_.CopyCurrentToPre(&phys, 0);
+  if (d.pv_null) vschema_.SetPreNull(&phys, 0);
+  if (d.cv_from_mv) {
+    WVM_CHECK(mv_logical != nullptr);
+    vschema_.SetCurrent(&phys, *mv_logical);
+  }
+  if (d.set_tuple_vn) {
+    WVM_CHECK(d.new_op.has_value());
+    vschema_.SetSlot(&phys, 0, txn->vn(), *d.new_op);
+  } else if (d.new_op.has_value()) {
+    phys[vschema_.OperationIndex(0)] =
+        Value::String(OpToString(*d.new_op));
+  }
+  if (d.pop_slot) vschema_.PushForward(&phys);
+
+  switch (d.action) {
+    case PhysicalAction::kInsertTuple: {
+      WVM_ASSIGN_OR_RETURN(Rid new_rid, phys_->InsertRow(phys));
+      IndexInsert(vschema_.logical().KeyOf(phys), new_rid);
+      ++txn->stats_.physical_inserts;
+      return Status::OK();
+    }
+    case PhysicalAction::kUpdateTuple: {
+      WVM_RETURN_IF_ERROR(phys_->UpdateRow(rid, phys));
+      ++txn->stats_.physical_updates;
+      return Status::OK();
+    }
+    case PhysicalAction::kDeleteTuple: {
+      WVM_RETURN_IF_ERROR(phys_->DeleteRow(rid));
+      IndexErase(vschema_.logical().KeyOf(phys));
+      ++txn->stats_.physical_deletes;
+      return Status::OK();
+    }
+  }
+  WVM_UNREACHABLE("bad physical action");
+}
+
+Status VnlTable::Insert(MaintenanceTxn* txn, const Row& logical_row) {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(logical_row));
+  ++txn->stats_.logical_inserts;
+
+  std::optional<TupleVersionState> existing;
+  Rid rid{};
+  Row phys;
+  if (vschema_.logical().has_unique_key()) {
+    const Row key = vschema_.logical().KeyOf(logical_row);
+    std::optional<Rid> found = IndexLookup(key);
+    if (found.has_value()) {
+      rid = *found;
+      WVM_ASSIGN_OR_RETURN(phys, phys_->GetRow(rid));
+      WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+      existing = TupleVersionState{
+          vschema_.TupleVn(phys, 0), op,
+          vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1)};
+    }
+  }
+
+  WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                       DecideInsert(txn->vn(), existing));
+  if (d.action == PhysicalAction::kInsertTuple) {
+    phys = vschema_.MakeInsertRow(logical_row, txn->vn());
+    // MakeInsertRow already wrote slot 0 / PV; clear the redundant steps.
+    MaintenanceDecision fresh = d;
+    fresh.pv_null = false;
+    fresh.cv_from_mv = false;
+    fresh.set_tuple_vn = false;
+    fresh.new_op = std::nullopt;
+    return ApplyDecision(txn, fresh, rid, std::move(phys), nullptr);
+  }
+  return ApplyDecision(txn, d, rid, std::move(phys), &logical_row);
+}
+
+Result<std::vector<std::pair<Rid, Row>>> VnlTable::MaterializeCursor(
+    Vn maintenance_vn, const RowPredicate& pred) const {
+  (void)maintenance_vn;
+  std::vector<std::pair<Rid, Row>> matches;
+  Status status;
+  phys_->ScanRows([&](Rid rid, const Row& phys) {
+    Result<Op> op = vschema_.Operation(phys, 0);
+    if (!op.ok()) {
+      status = op.status();
+      return false;
+    }
+    // The maintenance transaction reads the latest version (first row of
+    // Table 1); logically deleted tuples are invisible to it.
+    if (op.value() == Op::kDelete) return true;
+    Result<bool> keep = pred(vschema_.CurrentLogical(phys));
+    if (!keep.ok()) {
+      status = keep.status();
+      return false;
+    }
+    if (keep.value()) matches.emplace_back(rid, phys);
+    return true;
+  });
+  WVM_RETURN_IF_ERROR(status);
+  return matches;
+}
+
+Result<size_t> VnlTable::Update(MaintenanceTxn* txn,
+                                const RowPredicate& pred,
+                                const RowTransform& transform) {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  WVM_ASSIGN_OR_RETURN(auto cursor, MaterializeCursor(txn->vn(), pred));
+  for (auto& [rid, phys] : cursor) {
+    const Row current = vschema_.CurrentLogical(phys);
+    WVM_ASSIGN_OR_RETURN(Row next, transform(current));
+    WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(next));
+    // Non-updatable attributes (including the unique key) must not change.
+    for (size_t i = 0; i < current.size(); ++i) {
+      if (!vschema_.logical().column(i).updatable &&
+          !(current[i] == next[i])) {
+        return Status::InvalidArgument(
+            "update changes non-updatable attribute '" +
+            vschema_.logical().column(i).name + "'");
+      }
+    }
+    WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+    WVM_ASSIGN_OR_RETURN(
+        MaintenanceDecision d,
+        DecideUpdate(txn->vn(),
+                     TupleVersionState{vschema_.TupleVn(phys, 0), op,
+                                       vschema_.n() > 2 &&
+                                           !vschema_.SlotEmpty(phys, 1)}));
+    WVM_RETURN_IF_ERROR(ApplyDecision(txn, d, rid, std::move(phys), &next));
+    ++txn->stats_.logical_updates;
+  }
+  return cursor.size();
+}
+
+Result<size_t> VnlTable::Delete(MaintenanceTxn* txn,
+                                const RowPredicate& pred) {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  WVM_ASSIGN_OR_RETURN(auto cursor, MaterializeCursor(txn->vn(), pred));
+  for (auto& [rid, phys] : cursor) {
+    WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+    WVM_ASSIGN_OR_RETURN(
+        MaintenanceDecision d,
+        DecideDelete(txn->vn(),
+                     TupleVersionState{vschema_.TupleVn(phys, 0), op,
+                                       vschema_.n() > 2 &&
+                                           !vschema_.SlotEmpty(phys, 1)}));
+    WVM_RETURN_IF_ERROR(
+        ApplyDecision(txn, d, rid, std::move(phys), nullptr));
+    ++txn->stats_.logical_deletes;
+  }
+  return cursor.size();
+}
+
+Result<bool> VnlTable::UpdateByKey(MaintenanceTxn* txn, const Row& key,
+                                   const RowTransform& transform) {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  std::optional<Rid> rid = IndexLookup(key);
+  if (!rid.has_value()) return false;
+  WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(*rid));
+  WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+  if (op == Op::kDelete) return false;
+
+  const Row current = vschema_.CurrentLogical(phys);
+  WVM_ASSIGN_OR_RETURN(Row next, transform(current));
+  WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(next));
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (!vschema_.logical().column(i).updatable &&
+        !(current[i] == next[i])) {
+      return Status::InvalidArgument(
+          "update changes non-updatable attribute '" +
+          vschema_.logical().column(i).name + "'");
+    }
+  }
+  WVM_ASSIGN_OR_RETURN(
+      MaintenanceDecision d,
+      DecideUpdate(txn->vn(),
+                   TupleVersionState{vschema_.TupleVn(phys, 0), op,
+                                     vschema_.n() > 2 &&
+                                         !vschema_.SlotEmpty(phys, 1)}));
+  WVM_RETURN_IF_ERROR(ApplyDecision(txn, d, *rid, std::move(phys), &next));
+  ++txn->stats_.logical_updates;
+  return true;
+}
+
+Result<bool> VnlTable::DeleteByKey(MaintenanceTxn* txn, const Row& key) {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  std::optional<Rid> rid = IndexLookup(key);
+  if (!rid.has_value()) return false;
+  WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(*rid));
+  WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+  if (op == Op::kDelete) return false;
+  WVM_ASSIGN_OR_RETURN(
+      MaintenanceDecision d,
+      DecideDelete(txn->vn(),
+                   TupleVersionState{vschema_.TupleVn(phys, 0), op,
+                                     vschema_.n() > 2 &&
+                                         !vschema_.SlotEmpty(phys, 1)}));
+  WVM_RETURN_IF_ERROR(
+      ApplyDecision(txn, d, *rid, std::move(phys), nullptr));
+  ++txn->stats_.logical_deletes;
+  return true;
+}
+
+Result<std::optional<Row>> VnlTable::MaintenanceLookup(
+    MaintenanceTxn* txn, const Row& key) const {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  if (!vschema_.logical().has_unique_key()) {
+    return Status::FailedPrecondition("table has no unique key");
+  }
+  std::optional<Rid> rid = IndexLookup(key);
+  if (!rid.has_value()) return std::optional<Row>();
+  WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(*rid));
+  WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+  if (op == Op::kDelete) return std::optional<Row>();
+  return std::optional<Row>(vschema_.CurrentLogical(phys));
+}
+
+Result<std::vector<Row>> VnlTable::MaintenanceRows(
+    MaintenanceTxn* txn) const {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  WVM_ASSIGN_OR_RETURN(
+      auto cursor,
+      MaterializeCursor(txn->vn(), [](const Row&) { return true; }));
+  std::vector<Row> rows;
+  rows.reserve(cursor.size());
+  for (auto& [rid, phys] : cursor) {
+    rows.push_back(vschema_.CurrentLogical(phys));
+  }
+  return rows;
+}
+
+Status VnlTable::SnapshotScan(const ReaderSession& session,
+                              const std::function<bool(const Row&)>& sink,
+                              SnapshotScanStats* stats) const {
+  Status status;
+  phys_->ScanRows([&](Rid, const Row& phys) {
+    Row out;
+    switch (ReadVersion(vschema_, phys, session.session_vn, &out)) {
+      case ReadOutcome::kRow: {
+        const bool current =
+            session.session_vn >= vschema_.TupleVn(phys, 0);
+        if (stats != nullptr) {
+          ++(current ? stats->current_reads : stats->pre_update_reads);
+        }
+        return sink(out);
+      }
+      case ReadOutcome::kIgnore:
+        if (stats != nullptr) ++stats->ignored;
+        return true;
+      case ReadOutcome::kExpired:
+        status = Status::SessionExpired(StrPrintf(
+            "session at VN %lld hit a tuple modified more than %d "
+            "maintenance transactions ago",
+            static_cast<long long>(session.session_vn),
+            vschema_.n() - 1));
+        return false;
+    }
+    return true;
+  });
+  return status;
+}
+
+Result<std::vector<Row>> VnlTable::SnapshotRows(
+    const ReaderSession& session, SnapshotScanStats* stats) const {
+  std::vector<Row> rows;
+  WVM_RETURN_IF_ERROR(SnapshotScan(
+      session,
+      [&rows](const Row& row) {
+        rows.push_back(row);
+        return true;
+      },
+      stats));
+  return rows;
+}
+
+Result<std::optional<Row>> VnlTable::SnapshotLookup(
+    const ReaderSession& session, const Row& key) const {
+  if (!vschema_.logical().has_unique_key()) {
+    return Status::FailedPrecondition("table has no unique key");
+  }
+  std::optional<Rid> rid = IndexLookup(key);
+  if (!rid.has_value()) return std::optional<Row>();
+  Result<Row> phys = phys_->GetRow(*rid);
+  if (!phys.ok()) {
+    // Physically reclaimed between index lookup and read: invisible.
+    if (phys.status().code() == StatusCode::kNotFound) {
+      return std::optional<Row>();
+    }
+    return phys.status();
+  }
+  Row out;
+  switch (ReadVersion(vschema_, *phys, session.session_vn, &out)) {
+    case ReadOutcome::kRow:
+      return std::optional<Row>(std::move(out));
+    case ReadOutcome::kIgnore:
+      return std::optional<Row>();
+    case ReadOutcome::kExpired:
+      return Status::SessionExpired("session expired during lookup");
+  }
+  WVM_UNREACHABLE("bad read outcome");
+}
+
+Result<query::QueryResult> VnlTable::SnapshotSelect(
+    const ReaderSession& session, const sql::SelectStmt& stmt,
+    const query::ParamMap& params) const {
+  WVM_ASSIGN_OR_RETURN(std::vector<Row> rows, SnapshotRows(session));
+  query::RowSource source =
+      [&rows](const std::function<bool(const Row&)>& sink) {
+        for (const Row& row : rows) {
+          if (!sink(row)) return;
+        }
+      };
+  return query::ExecuteSelect(stmt, vschema_.logical(), source, params);
+}
+
+bool VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
+  bool lossless = true;
+  // Materialize the victims first; reverts mutate the heap.
+  std::vector<std::pair<Rid, Row>> victims;
+  phys_->ScanRows([&](Rid rid, const Row& phys) {
+    if (vschema_.TupleVn(phys, 0) == txn_vn) victims.emplace_back(rid, phys);
+    return true;
+  });
+
+  for (auto& [rid, phys] : victims) {
+    Result<Op> op = vschema_.Operation(phys, 0);
+    WVM_CHECK(op.ok());
+    const bool has_history =
+        vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1);
+
+    if (op.value() == Op::kInsert) {
+      if (has_history) {
+        // The insert pushed older versions back; popping the slot restores
+        // them exactly (CV of a deleted tuple is never read).
+        vschema_.PushForward(&phys);
+        WVM_CHECK(phys_->UpdateRow(rid, phys).ok());
+      } else {
+        WVM_CHECK(phys_->DeleteRow(rid).ok());
+        IndexErase(vschema_.logical().KeyOf(phys));
+        // A 2VNL insert over a logically deleted key destroyed the
+        // pre-delete values; older sessions cannot be reconstructed.
+        // A genuinely fresh insert is lossless, but the two cases are
+        // indistinguishable without a log, so stay conservative.
+        lossless = false;
+      }
+      continue;
+    }
+
+    if (op.value() == Op::kUpdate) {
+      // Restore the current values from the saved pre-update values.
+      for (size_t u = 0; u < vschema_.updatable().size(); ++u) {
+        phys[vschema_.updatable()[u]] = phys[vschema_.PreIndex(u, 0)];
+      }
+    }
+    // (op == delete: current values were never overwritten.)
+
+    if (has_history) {
+      vschema_.PushForward(&phys);  // slot 0 restored from slot 1: exact
+    } else {
+      // The pre-transaction {tupleVN, operation, PV} are unrecoverable in
+      // 2VNL; stamp the tuple as of current_vn. Sessions at current_vn
+      // read the (correct) current values; older sessions must expire.
+      vschema_.SetSlot(&phys, 0, current_vn, Op::kUpdate);
+      vschema_.CopyCurrentToPre(&phys, 0);
+      lossless = false;
+    }
+    WVM_CHECK(phys_->UpdateRow(rid, phys).ok());
+  }
+  return lossless;
+}
+
+size_t VnlTable::CollectGarbage(Vn current_vn, Vn min_active_session_vn) {
+  // A logically deleted tuple is reclaimable once every session that could
+  // still see any of its versions is gone: active sessions all have
+  // sessionVN >= tupleVN (so they ignore it), and new sessions start at
+  // currentVN >= tupleVN.
+  std::vector<std::pair<Rid, Row>> victims;
+  phys_->ScanRows([&](Rid rid, const Row& phys) {
+    Result<Op> op = vschema_.Operation(phys, 0);
+    WVM_CHECK(op.ok());
+    const Vn vn = vschema_.TupleVn(phys, 0);
+    if (op.value() == Op::kDelete && vn <= current_vn &&
+        min_active_session_vn >= vn) {
+      victims.emplace_back(rid, phys);
+    }
+    return true;
+  });
+  for (auto& [rid, phys] : victims) {
+    if (phys_->DeleteRow(rid).ok()) {
+      IndexErase(vschema_.logical().KeyOf(phys));
+    }
+  }
+  return victims.size();
+}
+
+}  // namespace wvm::core

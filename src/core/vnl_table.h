@@ -1,0 +1,182 @@
+#ifndef OPENWVM_CORE_VNL_TABLE_H_
+#define OPENWVM_CORE_VNL_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "core/decision_tables.h"
+#include "core/session.h"
+#include "core/version_relation.h"
+#include "core/versioned_schema.h"
+#include "query/executor.h"
+#include "sql/ast.h"
+
+namespace wvm::core {
+
+class VnlEngine;
+
+// Handle to the single active maintenance transaction. Created by
+// VnlEngine::BeginMaintenance and finished with Commit/Abort.
+class MaintenanceTxn {
+ public:
+  Vn vn() const { return vn_; }
+  bool active() const { return active_; }
+
+  struct Stats {
+    size_t logical_inserts = 0;
+    size_t logical_updates = 0;
+    size_t logical_deletes = 0;
+    size_t physical_inserts = 0;
+    size_t physical_updates = 0;
+    size_t physical_deletes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class VnlEngine;
+  friend class VnlTable;
+
+  MaintenanceTxn(VnlEngine* engine, Vn vn) : engine_(engine), vn_(vn) {}
+
+  VnlEngine* engine_;
+  Vn vn_;
+  bool active_ = true;
+  Stats stats_;
+};
+
+// Per-row callbacks used by the cursor-style maintenance statements
+// (§4.2): both receive the *logical* current row.
+using RowPredicate = std::function<Result<bool>(const Row&)>;
+using RowTransform = std::function<Result<Row>(const Row&)>;
+
+// Counters describing how a snapshot scan classified the physical tuples
+// it visited (Table 1 outcomes) — reported by the reader-overhead bench.
+struct SnapshotScanStats {
+  size_t current_reads = 0;
+  size_t pre_update_reads = 0;
+  size_t ignored = 0;
+};
+
+// An nVNL-versioned relation: a logical schema widened per §3.1 stored in
+// a heap table, a unique-key hash index on the (never-updatable) key, the
+// maintenance decision procedure of §3.3, and Table 1 snapshot reads.
+class VnlTable {
+ public:
+  const std::string& name() const { return name_; }
+  const VersionedSchema& versioned_schema() const { return vschema_; }
+  const Schema& logical_schema() const { return vschema_.logical(); }
+  // The widened backing relation — what the rewrite implementation (§4)
+  // queries directly with CASE expressions.
+  const Table& physical_table() const { return *phys_; }
+
+  // --- Maintenance operations (§3.3, Tables 2-4) --------------------------
+
+  // Logical insert. Resolves unique-key conflicts per Table 2 (re-insert
+  // of a logically deleted key becomes a physical update).
+  Status Insert(MaintenanceTxn* txn, const Row& logical_row);
+
+  // Logical update of every tuple satisfying `pred`, via a materialized
+  // cursor (Example 4.3). `transform` maps the current logical row to the
+  // new one; non-updatable attributes must be preserved. Returns the
+  // number of tuples updated.
+  Result<size_t> Update(MaintenanceTxn* txn, const RowPredicate& pred,
+                        const RowTransform& transform);
+
+  // Logical delete of every tuple satisfying `pred` (Example 4.4).
+  Result<size_t> Delete(MaintenanceTxn* txn, const RowPredicate& pred);
+
+  // Index-based fast paths for key-addressed maintenance (what the
+  // warehouse delta-application loop issues). Return false when the key
+  // is absent or logically deleted.
+  Result<bool> UpdateByKey(MaintenanceTxn* txn, const Row& key,
+                           const RowTransform& transform);
+  Result<bool> DeleteByKey(MaintenanceTxn* txn, const Row& key);
+
+  // Current logical row for `key`, as the maintenance txn sees it
+  // (nullopt when absent or logically deleted).
+  Result<std::optional<Row>> MaintenanceLookup(MaintenanceTxn* txn,
+                                               const Row& key) const;
+
+  // All logical rows visible to the maintenance transaction.
+  Result<std::vector<Row>> MaintenanceRows(MaintenanceTxn* txn) const;
+
+  // --- Reader operations (§3.2, Table 1) ----------------------------------
+
+  // Streams the snapshot the session is pinned to. Detects expiration at
+  // tuple granularity (§3.2 case 3) and returns kSessionExpired.
+  Status SnapshotScan(const ReaderSession& session,
+                      const std::function<bool(const Row&)>& sink,
+                      SnapshotScanStats* stats = nullptr) const;
+
+  Result<std::vector<Row>> SnapshotRows(
+      const ReaderSession& session, SnapshotScanStats* stats = nullptr) const;
+
+  // Key lookup within the session's snapshot.
+  Result<std::optional<Row>> SnapshotLookup(const ReaderSession& session,
+                                            const Row& key) const;
+
+  // Runs a SELECT over the session's snapshot (aggregates, grouping, the
+  // full query layer). Statement table name is not checked against this
+  // table — the engine routes by name.
+  Result<query::QueryResult> SnapshotSelect(
+      const ReaderSession& session, const sql::SelectStmt& stmt,
+      const query::ParamMap& params = {}) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  uint64_t physical_rows() const { return phys_->num_rows(); }
+  uint64_t physical_pages() const { return phys_->num_pages(); }
+
+ private:
+  friend class VnlEngine;
+
+  VnlTable(std::string name, VersionedSchema vschema, BufferPool* pool,
+           SessionManager* sessions);
+
+  Status CheckTxn(const MaintenanceTxn* txn) const;
+
+  // Applies one decision-table cell to the tuple at `rid` (whose current
+  // physical image is `phys`). `mv_logical` carries the operation's values
+  // when the cell copies CV <- MV.
+  Status ApplyDecision(MaintenanceTxn* txn, const MaintenanceDecision& d,
+                       Rid rid, Row phys, const Row* mv_logical);
+
+  // Cursor materialization: (rid, physical row) pairs the maintenance txn
+  // can see (skips logically deleted tuples) matching `pred` on the
+  // current logical projection.
+  Result<std::vector<std::pair<Rid, Row>>> MaterializeCursor(
+      Vn maintenance_vn, const RowPredicate& pred) const;
+
+  std::optional<Rid> IndexLookup(const Row& key) const;
+  void IndexInsert(const Row& key, Rid rid);
+  void IndexErase(const Row& key);
+
+  // Rollback-without-logging (§7): reverts every tuple stamped with
+  // txn_vn. Returns true when the revert was lossless (all pre-states
+  // fully reconstructed — guaranteed for n > 2 when history slots were
+  // available); false when sessions older than current_vn must be expired.
+  bool RollbackTxn(Vn txn_vn, Vn current_vn);
+
+  // Garbage collection (§7): physically removes logically deleted tuples
+  // whose versions no active or future session can read.
+  size_t CollectGarbage(Vn current_vn, Vn min_active_session_vn);
+
+  std::string name_;
+  VersionedSchema vschema_;
+  std::unique_ptr<Table> phys_;
+  SessionManager* sessions_;
+
+  mutable std::mutex index_mu_;
+  std::unordered_map<Row, Rid, RowHash, RowEq> key_index_;
+};
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_VNL_TABLE_H_

@@ -1,0 +1,36 @@
+#ifndef OPENWVM_QUERY_EVAL_H_
+#define OPENWVM_QUERY_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace wvm::query {
+
+// Bindings for :name placeholders — e.g. {"sessionVN", Value::Int64(3)}
+// when executing the paper's rewritten reader queries (§4.1).
+using ParamMap = std::unordered_map<std::string, Value>;
+
+// Evaluates a scalar expression against one row. Aggregate calls are not
+// valid here (the executor handles them); NULLs follow SQL semantics:
+// comparisons and arithmetic with NULL yield NULL, AND/OR use Kleene logic,
+// CASE with no matching WHEN and no ELSE yields NULL.
+Result<Value> EvalExpr(const sql::Expr& expr, const Schema& schema,
+                       const Row& row, const ParamMap& params);
+
+// Evaluates `expr` as a predicate: NULL and false both reject the row.
+Result<bool> EvalPredicate(const sql::Expr& expr, const Schema& schema,
+                           const Row& row, const ParamMap& params);
+
+// Three-valued comparison used by both scalar evaluation and the executor.
+// Returns NULL(bool) when either operand is NULL. Strings compare against
+// DATE columns by parsing (so WHERE date = '10/14/96' works).
+Result<Value> CompareValues(const Value& a, const Value& b,
+                            sql::BinaryOp op);
+
+}  // namespace wvm::query
+
+#endif  // OPENWVM_QUERY_EVAL_H_

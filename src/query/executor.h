@@ -1,0 +1,47 @@
+#ifndef OPENWVM_QUERY_EXECUTOR_H_
+#define OPENWVM_QUERY_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "query/eval.h"
+#include "sql/ast.h"
+
+namespace wvm::query {
+
+// Materialized query output.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+
+  // Renders an aligned ASCII table (used by the examples and benches to
+  // print paper-figure-style relation states).
+  std::string ToString() const;
+};
+
+// Abstract row stream: calls the sink for each row; the sink returns false
+// to stop. This lets the same executor run over a raw Table scan or over a
+// 2VNL snapshot view of a table.
+using RowSource =
+    std::function<void(const std::function<bool(const Row&)>& sink)>;
+
+// Executes a SELECT over rows of `input_schema` produced by `source`.
+// Supports WHERE, projection, GROUP BY with SUM/COUNT/AVG/MIN/MAX, and
+// grand-total aggregation without GROUP BY. Grouped output is sorted by
+// group key so results are deterministic.
+Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const Schema& input_schema,
+                                  const RowSource& source,
+                                  const ParamMap& params);
+
+// Convenience overload scanning a catalog table.
+Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const Table& table,
+                                  const ParamMap& params);
+
+}  // namespace wvm::query
+
+#endif  // OPENWVM_QUERY_EXECUTOR_H_

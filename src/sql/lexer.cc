@@ -1,0 +1,121 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace wvm::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCaseAscii(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tokens.push_back({TokenType::kIdent, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      bool has_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (!has_dot && input[j] == '.' && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(
+                            input[j + 1]))))) {
+        if (input[j] == '.') has_dot = true;
+        ++j;
+      }
+      tokens.push_back({has_dot ? TokenType::kDouble : TokenType::kInt,
+                        input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrPrintf("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      i = j;
+      continue;
+    }
+    if (c == ':') {
+      size_t j = i + 1;
+      if (j >= n || !IsIdentStart(input[j])) {
+        return Status::InvalidArgument(
+            StrPrintf("bad parameter name at offset %zu", start));
+      }
+      ++j;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tokens.push_back(
+          {TokenType::kParam, input.substr(i + 1, j - i - 1), start});
+      i = j;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tokens.push_back(
+            {TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(': case ')': case ',': case '.': case ';': case '*':
+      case '=': case '<': case '>': case '+': case '-': case '/':
+        tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrPrintf("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace wvm::sql

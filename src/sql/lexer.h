@@ -1,0 +1,38 @@
+#ifndef OPENWVM_SQL_LEXER_H_
+#define OPENWVM_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wvm::sql {
+
+enum class TokenType {
+  kIdent,      // column / table names and keywords (case-insensitive)
+  kInt,        // 123
+  kDouble,     // 1.5
+  kString,     // 'text' (single quotes, '' escapes a quote)
+  kParam,      // :name placeholder (e.g. :sessionVN, paper §4.1)
+  kSymbol,     // ( ) , . ; * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;    // raw text; for kString the unescaped contents
+  size_t offset = 0;   // byte offset in the input, for error messages
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  // Case-insensitive keyword check on identifiers.
+  bool IsKeyword(const char* kw) const;
+};
+
+// Splits `input` into tokens. Fails on unterminated strings or stray bytes.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace wvm::sql
+
+#endif  // OPENWVM_SQL_LEXER_H_

@@ -1,0 +1,32 @@
+#ifndef OPENWVM_SQL_PARSER_H_
+#define OPENWVM_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace wvm::sql {
+
+// Parses one SQL statement. Supported dialect (everything the paper's
+// examples use):
+//   SELECT <exprs | *> FROM t [WHERE expr] [GROUP BY cols]
+//   INSERT INTO t [(cols)] VALUES (exprs) [, (exprs)]*
+//   UPDATE t SET col = expr [, ...] [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+// Expressions: arithmetic, comparisons, AND/OR/NOT, IS [NOT] NULL,
+// SUM/COUNT/AVG/MIN/MAX, searched CASE, :param placeholders.
+Result<Statement> Parse(const std::string& input);
+
+// Convenience wrappers that additionally check the statement kind.
+Result<SelectStmt> ParseSelect(const std::string& input);
+Result<InsertStmt> ParseInsert(const std::string& input);
+Result<UpdateStmt> ParseUpdate(const std::string& input);
+Result<DeleteStmt> ParseDelete(const std::string& input);
+
+// Parses a bare expression (used by tests and the rewriter).
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+}  // namespace wvm::sql
+
+#endif  // OPENWVM_SQL_PARSER_H_

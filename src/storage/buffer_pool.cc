@@ -1,0 +1,126 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace wvm {
+
+namespace {
+constexpr size_t kNoFrame = static_cast<size_t>(-1);
+}  // namespace
+
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk)
+    : pool_size_(pool_size), disk_(disk) {
+  WVM_CHECK(pool_size_ > 0);
+  frames_.reserve(pool_size_);
+  for (size_t i = 0; i < pool_size_; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size_ - 1 - i);  // hand out frame 0 first
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+void BufferPool::TouchLocked(size_t frame_idx) {
+  auto it = lru_pos_.find(frame_idx);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(frame_idx);
+  lru_pos_[frame_idx] = lru_.begin();
+}
+
+Page* BufferPool::AcquireFrameLocked() {
+  size_t idx = kNoFrame;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    // Evict the least recently used unpinned page.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      Page* victim = frames_[*it].get();
+      if (victim->pin_count_ > 0) continue;
+      if (victim->is_dirty_) {
+        disk_->WritePage(victim->page_id_, victim->data_);
+        ++stats_.dirty_writebacks;
+      }
+      page_table_.erase(victim->page_id_);
+      victim->Reset();
+      ++stats_.evictions;
+      idx = *it;
+      break;
+    }
+  }
+  if (idx == kNoFrame) return nullptr;
+  TouchLocked(idx);
+  acquired_frame_idx_ = idx;
+  return frames_[idx].get();
+}
+
+Result<Page*> BufferPool::NewPage() {
+  std::lock_guard lock(mu_);
+  Page* frame = AcquireFrameLocked();
+  if (frame == nullptr) {
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  }
+  const PageId pid = disk_->AllocatePage();
+  frame->page_id_ = pid;
+  frame->pin_count_ = 1;
+  frame->is_dirty_ = true;  // a new page must reach disk eventually
+  page_table_[pid] = acquired_frame_idx_;
+  ++stats_.fetches;
+  ++stats_.misses;
+  return frame;
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  WVM_CHECK(page_id != kInvalidPageId);
+  std::lock_guard lock(mu_);
+  ++stats_.fetches;
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count_;
+    TouchLocked(it->second);
+    return page;
+  }
+  ++stats_.misses;
+  Page* frame = AcquireFrameLocked();
+  if (frame == nullptr) {
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  }
+  disk_->ReadPage(page_id, frame->data_);
+  frame->page_id_ = page_id;
+  frame->pin_count_ = 1;
+  frame->is_dirty_ = false;
+  page_table_[page_id] = acquired_frame_idx_;
+  return frame;
+}
+
+void BufferPool::Unpin(Page* page, bool dirty) {
+  std::lock_guard lock(mu_);
+  WVM_CHECK_MSG(page->pin_count_ > 0, "unpin of unpinned page");
+  --page->pin_count_;
+  if (dirty) page->is_dirty_ = true;
+}
+
+void BufferPool::FlushAll() {
+  std::lock_guard lock(mu_);
+  for (auto& frame : frames_) {
+    if (frame->page_id_ != kInvalidPageId && frame->is_dirty_) {
+      disk_->WritePage(frame->page_id_, frame->data_);
+      frame->is_dirty_ = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard lock(mu_);
+  stats_ = BufferPoolStats{};
+}
+
+}  // namespace wvm

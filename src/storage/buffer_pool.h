@@ -1,0 +1,122 @@
+#ifndef OPENWVM_STORAGE_BUFFER_POOL_H_
+#define OPENWVM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace wvm {
+
+struct BufferPoolStats {
+  uint64_t fetches = 0;  // total page requests (logical page accesses)
+  uint64_t hits = 0;
+  uint64_t misses = 0;   // each miss costs one disk read
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+// LRU buffer pool over a DiskManager. Pages are pinned while in use;
+// unpinned pages are eviction candidates. The pool size is a knob in the
+// I/O experiments: a pool smaller than the working set makes the paper's
+// "fewer tuples fit on a page" and "version-pool chasing" effects visible
+// as real page reads.
+class BufferPool {
+ public:
+  BufferPool(size_t pool_size, DiskManager* disk);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Allocates a fresh page, pinned. Caller must Unpin.
+  Result<Page*> NewPage();
+
+  // Fetches an existing page, pinned. Caller must Unpin.
+  Result<Page*> FetchPage(PageId page_id);
+
+  // Drops a pin; `dirty` marks the page as modified.
+  void Unpin(Page* page, bool dirty);
+
+  // Writes all dirty pages back to disk (used at checkpoints in tests).
+  void FlushAll();
+
+  BufferPoolStats stats() const;
+  void ResetStats();
+
+  size_t pool_size() const { return pool_size_; }
+  DiskManager* disk() { return disk_; }
+
+ private:
+  // Finds a frame for a new resident page; evicts an unpinned LRU victim
+  // if necessary. Returns nullptr when every frame is pinned. On success
+  // the chosen frame index is recorded in acquired_frame_idx_.
+  Page* AcquireFrameLocked();
+  void TouchLocked(size_t frame_idx);
+
+  size_t acquired_frame_idx_ = 0;
+
+  const size_t pool_size_;
+  DiskManager* const disk_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;  // page id -> frame index
+  std::list<size_t> lru_;                          // front = most recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+// RAII pin guard. Obtain via TableHeap or directly from the pool.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_ = o.page_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.page_ = nullptr;
+    }
+    return *this;
+  }
+
+  Page* get() { return page_; }
+  Page* operator->() { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->Unpin(page_, dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace wvm
+
+#endif  // OPENWVM_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,41 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace wvm {
+
+PageId DiskManager::AllocatePage() {
+  std::unique_lock lock(mu_);
+  pages_.push_back(std::make_unique<PageBuf>());
+  std::memset(pages_.back()->bytes, 0, kPageSize);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::ReadPage(PageId page_id, char* out) {
+  std::shared_lock lock(mu_);
+  WVM_CHECK_MSG(page_id >= 0 &&
+                    static_cast<size_t>(page_id) < pages_.size(),
+                "read of unallocated page");
+  std::memcpy(out, pages_[static_cast<size_t>(page_id)]->bytes, kPageSize);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DiskManager::WritePage(PageId page_id, const char* data) {
+  std::shared_lock lock(mu_);
+  WVM_CHECK_MSG(page_id >= 0 &&
+                    static_cast<size_t>(page_id) < pages_.size(),
+                "write of unallocated page");
+  std::memcpy(pages_[static_cast<size_t>(page_id)]->bytes, data, kPageSize);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t DiskManager::num_pages() const {
+  std::shared_lock lock(mu_);
+  return pages_.size();
+}
+
+}  // namespace wvm

@@ -1,0 +1,66 @@
+#ifndef OPENWVM_STORAGE_DISK_MANAGER_H_
+#define OPENWVM_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+
+#include "storage/page.h"
+
+namespace wvm {
+
+// Counters the I/O experiments report (paper §6 argues I/O costs
+// qualitatively; we measure them).
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+};
+
+// RAM-backed page store that faithfully counts page-granularity I/O.
+// Durability is out of scope (see DESIGN.md §7); what matters for the
+// paper's claims is *how many* page transfers each algorithm performs.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  PageId AllocatePage();
+
+  // Copies the page into `out` (exactly kPageSize bytes).
+  void ReadPage(PageId page_id, char* out);
+
+  // Copies `data` (exactly kPageSize bytes) into the page.
+  void WritePage(PageId page_id, const char* data);
+
+  DiskStats stats() const {
+    return {reads_.load(std::memory_order_relaxed),
+            writes_.load(std::memory_order_relaxed),
+            allocs_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    allocs_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t num_pages() const;
+
+ private:
+  struct PageBuf {
+    char bytes[kPageSize];
+  };
+
+  mutable std::shared_mutex mu_;
+  std::deque<std::unique_ptr<PageBuf>> pages_;  // stable addresses
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocs_{0};
+};
+
+}  // namespace wvm
+
+#endif  // OPENWVM_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,77 @@
+#ifndef OPENWVM_STORAGE_PAGE_H_
+#define OPENWVM_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <shared_mutex>
+
+namespace wvm {
+
+using PageId = int32_t;
+inline constexpr PageId kInvalidPageId = -1;
+inline constexpr size_t kPageSize = 4096;
+
+// A buffer-pool frame: raw page bytes plus bookkeeping. The per-page latch
+// is the short-duration lock the paper assumes keeps readers off
+// partly-modified tuples (§4); it is never held across a transaction.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  bool is_dirty() const { return is_dirty_; }
+  int pin_count() const { return pin_count_; }
+
+  void RLatch() { latch_.lock_shared(); }
+  void RUnlatch() { latch_.unlock_shared(); }
+  void WLatch() { latch_.lock(); }
+  void WUnlatch() { latch_.unlock(); }
+
+ private:
+  friend class BufferPool;
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    is_dirty_ = false;
+    pin_count_ = 0;
+  }
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  bool is_dirty_ = false;
+  int pin_count_ = 0;
+  std::shared_mutex latch_;
+};
+
+// Record identifier: page + slot within the page.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+  bool operator<(const Rid& o) const {
+    return page_id != o.page_id ? page_id < o.page_id : slot < o.slot;
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return (static_cast<size_t>(static_cast<uint32_t>(r.page_id)) << 16) ^
+           r.slot;
+  }
+};
+
+}  // namespace wvm
+
+#endif  // OPENWVM_STORAGE_PAGE_H_

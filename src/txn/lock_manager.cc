@@ -1,0 +1,71 @@
+#include "txn/lock_manager.h"
+
+namespace wvm::txn {
+
+bool LockManager::CompatibleLocked(const LockState& state, uint64_t owner,
+                                   Mode mode) const {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == owner) continue;  // own locks never conflict (upgrade)
+    if (mode == Mode::kExclusive || held_mode == Mode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Lock(uint64_t owner, uint64_t resource, Mode mode) {
+  std::unique_lock lock(mu_);
+  LockState& state = locks_[resource];
+
+  auto held = state.holders.find(owner);
+  if (held != state.holders.end()) {
+    if (held->second == Mode::kExclusive || mode == Mode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    // S -> X upgrade request falls through to the wait loop.
+  }
+
+  if (!CompatibleLocked(state, owner, mode)) {
+    ++stats_.waits;
+    ++state.waiting;
+    const bool granted = cv_.wait_for(lock, timeout_, [&] {
+      return CompatibleLocked(state, owner, mode);
+    });
+    --state.waiting;
+    if (!granted) {
+      ++stats_.timeouts;
+      if (state.holders.empty() && state.waiting == 0) {
+        locks_.erase(resource);
+      }
+      return Status::DeadlineExceeded(
+          "lock wait timed out (presumed deadlock)");
+    }
+  }
+  state.holders[owner] = mode;
+  owned_[owner].insert(resource);
+  ++stats_.grants;
+  return Status::OK();
+}
+
+void LockManager::UnlockAll(uint64_t owner) {
+  std::lock_guard lock(mu_);
+  auto it = owned_.find(owner);
+  if (it == owned_.end()) return;
+  for (uint64_t resource : it->second) {
+    auto ls = locks_.find(resource);
+    if (ls == locks_.end()) continue;
+    ls->second.holders.erase(owner);
+    if (ls->second.holders.empty() && ls->second.waiting == 0) {
+      locks_.erase(ls);
+    }
+  }
+  owned_.erase(it);
+  cv_.notify_all();
+}
+
+LockManager::Stats LockManager::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace wvm::txn

@@ -1,0 +1,65 @@
+#ifndef OPENWVM_TXN_LOCK_MANAGER_H_
+#define OPENWVM_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace wvm::txn {
+
+// Shared/exclusive lock table with blocking waits and timeout-based
+// deadlock resolution. Used by the strict-2PL and offline baselines to
+// exhibit exactly the blocking behaviour the paper's Section 1 argues
+// against; 2VNL itself never touches this component.
+class LockManager {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  struct Stats {
+    uint64_t grants = 0;
+    uint64_t waits = 0;     // lock requests that had to block
+    uint64_t timeouts = 0;  // presumed deadlocks
+  };
+
+  explicit LockManager(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(200))
+      : timeout_(timeout) {}
+
+  // Acquires `resource` in `mode` for `owner`, blocking while incompatible
+  // holders exist. Re-entrant: an owner holding S may upgrade to X when it
+  // is the sole holder. Returns kDeadlineExceeded after the timeout (the
+  // caller should treat this as a deadlock and abort/retry).
+  Status Lock(uint64_t owner, uint64_t resource, Mode mode);
+
+  // Releases every lock held by `owner` (strict two-phase: all locks drop
+  // at end of transaction/session).
+  void UnlockAll(uint64_t owner);
+
+  Stats stats() const;
+
+ private:
+  struct LockState {
+    std::map<uint64_t, Mode> holders;
+    int waiting = 0;
+  };
+
+  bool CompatibleLocked(const LockState& state, uint64_t owner,
+                        Mode mode) const;
+
+  const std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, LockState> locks_;
+  std::unordered_map<uint64_t, std::set<uint64_t>> owned_;
+  Stats stats_;
+};
+
+}  // namespace wvm::txn
+
+#endif  // OPENWVM_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,175 @@
+#include "warehouse/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace wvm::warehouse {
+
+std::string PolicyResult::ToString() const {
+  std::string out = StrPrintf(
+      "%-14s sessions=%5zu completed=%5zu expired=%5zu delayed=%5zu "
+      "availability=%6.2f%% mean_wait=%.1f min",
+      policy.c_str(), sessions, completed, expired, delayed,
+      availability * 100.0,
+      delayed == 0 ? 0.0
+                   : static_cast<double>(total_wait) /
+                         static_cast<double>(delayed));
+  if (maint_delayed > 0 || maint_starved > 0) {
+    out += StrPrintf(
+        " | maint commits delayed=%zu (mean %.0f min), starved=%zu",
+        maint_delayed,
+        maint_delayed == 0 ? 0.0
+                           : static_cast<double>(maint_total_delay) /
+                                 static_cast<double>(maint_delayed),
+        maint_starved);
+  }
+  return out;
+}
+
+std::vector<MaintenanceWindow> BuildWindows(const ScheduleConfig& config) {
+  WVM_CHECK_MSG(config.maint_duration < kMinutesPerDay,
+                "daily maintenance must fit within one period");
+  std::vector<MaintenanceWindow> windows;
+  for (int day = 0; day < config.days; ++day) {
+    const SimTime start = day * kMinutesPerDay + config.maint_start;
+    windows.push_back({start, start + config.maint_duration});
+  }
+  return windows;
+}
+
+namespace {
+
+// Session arrival times over the horizon.
+std::vector<SimTime> Arrivals(const ScheduleConfig& config) {
+  std::vector<SimTime> out;
+  const SimTime horizon = config.days * kMinutesPerDay;
+  for (SimTime t = 0; t + config.session_duration <= horizon;
+       t += config.arrival_step) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+PolicyResult SimulateOffline(const ScheduleConfig& config) {
+  const std::vector<MaintenanceWindow> windows = BuildWindows(config);
+  PolicyResult result;
+  result.policy = "offline";
+  for (SimTime arrival : Arrivals(config)) {
+    ++result.sessions;
+    // If the arrival falls inside a maintenance window, the warehouse is
+    // closed: the session waits for the commit.
+    SimTime start = arrival;
+    for (const MaintenanceWindow& w : windows) {
+      if (arrival >= w.start && arrival < w.commit) {
+        start = w.commit;
+        break;
+      }
+    }
+    if (start != arrival) {
+      ++result.delayed;
+      result.total_wait += start - arrival;
+    }
+    // Once started, the session runs to completion (in the nightly model
+    // maintenance defers to active sessions, so it is never cut short).
+    ++result.completed;
+  }
+  result.availability =
+      result.sessions == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(result.delayed) /
+                      static_cast<double>(result.sessions);
+  return result;
+}
+
+PolicyResult SimulateVnl(const ScheduleConfig& config, int n) {
+  WVM_CHECK(n >= 2);
+  const std::vector<MaintenanceWindow> windows = BuildWindows(config);
+  PolicyResult result;
+  result.policy = n == 2 ? "2vnl" : std::to_string(n) + "vnl";
+  for (SimTime arrival : Arrivals(config)) {
+    ++result.sessions;
+    // sessionVN = number of maintenance transactions committed so far.
+    size_t session_vn = 0;
+    while (session_vn < windows.size() &&
+           windows[session_vn].commit <= arrival) {
+      ++session_vn;
+    }
+    // The session expires the moment maintenance transaction with
+    // 1-based index session_vn + n begins (§5): at that point n-1
+    // newer versions exist and version session_vn is pushed out.
+    const size_t killer = session_vn + static_cast<size_t>(n) - 1;
+    const SimTime end = arrival + config.session_duration;
+    if (killer < windows.size() && windows[killer].start < end) {
+      ++result.expired;
+    } else {
+      ++result.completed;
+    }
+  }
+  result.availability = 1.0;  // sessions never wait under nVNL
+  return result;
+}
+
+PolicyResult SimulateMv2pl(const ScheduleConfig& config) {
+  PolicyResult result;
+  result.policy = "mv2pl";
+  result.sessions = Arrivals(config).size();
+  result.completed = result.sessions;
+  result.availability = 1.0;
+  return result;
+}
+
+PolicyResult SimulateVnlQuiescent(const ScheduleConfig& config) {
+  PolicyResult result;
+  result.policy = "2vnl-quiescent";
+  const std::vector<SimTime> arrivals = Arrivals(config);
+  result.sessions = arrivals.size();
+  result.completed = arrivals.size();  // sessions never wait nor expire
+  result.availability = 1.0;
+
+  // A time t is "quiet" when no session is active: no arrival falls in
+  // (t - L, t]. With arrivals every `step` minutes, quiet times exist
+  // only when step > L; otherwise the commit starves.
+  const SimTime step = config.arrival_step;
+  const SimTime len = config.session_duration;
+  const SimTime horizon = config.days * kMinutesPerDay;
+  auto next_quiet = [&](SimTime t) -> SimTime {
+    if (step <= len) return horizon + 1;  // readers always active
+    // Quiet intervals are (k*step + len, (k+1)*step]; note arrivals stop
+    // once a session no longer fits the horizon, after which all time is
+    // quiet.
+    const SimTime last_arrival = arrivals.empty() ? -1 : arrivals.back();
+    if (t > last_arrival + len) return t;
+    const SimTime k = t / step;  // candidate containing interval
+    if (t > k * step + len) return t;
+    return k * step + len + 1;
+  };
+
+  SimTime prev_commit = 0;
+  for (const MaintenanceWindow& w : BuildWindows(config)) {
+    const SimTime start = std::max(w.start, prev_commit);
+    const SimTime desired = start + config.maint_duration;
+    const SimTime actual = next_quiet(desired);
+    if (actual > horizon) {
+      ++result.maint_starved;
+      prev_commit = horizon;
+      continue;
+    }
+    if (actual > desired) {
+      ++result.maint_delayed;
+      result.maint_total_delay += actual - desired;
+    }
+    prev_commit = actual;
+  }
+  return result;
+}
+
+SimTime MaxGuaranteedSessionLength(int n, SimTime gap, SimTime maint_len) {
+  WVM_CHECK(n >= 2);
+  return static_cast<SimTime>(n - 1) * (gap + maint_len) - maint_len;
+}
+
+}  // namespace wvm::warehouse

@@ -1,0 +1,78 @@
+#ifndef OPENWVM_WAREHOUSE_SCHEDULE_H_
+#define OPENWVM_WAREHOUSE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace wvm::warehouse {
+
+// One maintenance transaction on the simulated wall clock.
+struct MaintenanceWindow {
+  SimTime start;
+  SimTime commit;
+};
+
+// Replays the paper's operating patterns (Figures 1 and 2) on a simulated
+// clock and reports, per concurrency policy, how reader sessions fare.
+// The simulator is analytic — it models when sessions block or expire,
+// which depends only on the schedule geometry, not on data contents.
+struct ScheduleConfig {
+  int days = 7;
+  // Daily maintenance transaction: starts at `maint_start` minutes past
+  // midnight and commits `maint_duration` minutes later (possibly the
+  // next day, as in Figure 2's 9am -> 8am pattern).
+  SimTime maint_start = MakeSimTime(0, 9);       // 9:00
+  SimTime maint_duration = 23 * kMinutesPerHour; // commits 8:00 next day
+  // Reader sessions arrive every `arrival_step` minutes around the clock
+  // and each runs for `session_duration` minutes.
+  SimTime arrival_step = 30;
+  SimTime session_duration = 4 * kMinutesPerHour;
+};
+
+struct PolicyResult {
+  std::string policy;
+  size_t sessions = 0;
+  size_t completed = 0;        // ran to the end on a consistent snapshot
+  size_t expired = 0;          // lost their version mid-session (nVNL)
+  size_t delayed = 0;          // had to wait before starting (offline)
+  SimTime total_wait = 0;      // cumulative start delay
+  double availability = 0.0;   // fraction of arrivals served immediately
+  // Writer-side costs (commit-when-quiescent policy, §2.1):
+  size_t maint_delayed = 0;    // maintenance commits that had to wait
+  SimTime maint_total_delay = 0;
+  size_t maint_starved = 0;    // commits readers starved past the horizon
+
+  std::string ToString() const;
+};
+
+// The fixed daily maintenance windows implied by `config`.
+std::vector<MaintenanceWindow> BuildWindows(const ScheduleConfig& config);
+
+// Figure 1: nightly/offline operation — sessions and maintenance exclude
+// each other; arrivals during a window wait for its commit.
+PolicyResult SimulateOffline(const ScheduleConfig& config);
+
+// Figure 2: nVNL operation — sessions always start instantly; a session
+// pinned at version v expires the moment maintenance transaction v + n
+// begins (§5). n = 2 is 2VNL.
+PolicyResult SimulateVnl(const ScheduleConfig& config, int n);
+
+// MV2PL with an unbounded version pool: never blocks, never expires.
+PolicyResult SimulateMv2pl(const ScheduleConfig& config);
+
+// §2.1's other alternative: 2VNL whose maintenance transactions commit
+// only when no reader session is active. Sessions never expire, but a
+// steady stream of overlapping sessions starves the commit — both
+// effects are reported.
+PolicyResult SimulateVnlQuiescent(const ScheduleConfig& config);
+
+// §5: the longest session length guaranteed never to expire under nVNL,
+// (n-1)(i+m) - m, where i is the minimum gap between maintenance
+// transactions and m the minimum maintenance duration.
+SimTime MaxGuaranteedSessionLength(int n, SimTime gap, SimTime maint_len);
+
+}  // namespace wvm::warehouse
+
+#endif  // OPENWVM_WAREHOUSE_SCHEDULE_H_

@@ -1,0 +1,91 @@
+#include "warehouse/view_maintenance.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace wvm::warehouse {
+
+SummaryView::SummaryView(std::vector<Column> dim_columns,
+                         std::string measure_name)
+    : dims_(dim_columns.size()) {
+  WVM_CHECK_MSG(dims_ > 0, "summary view needs at least one dimension");
+  std::vector<size_t> key_indices;
+  for (size_t i = 0; i < dim_columns.size(); ++i) {
+    dim_columns[i].updatable = false;  // group-by keys never change (§3.1)
+    key_indices.push_back(i);
+  }
+  dim_columns.push_back(
+      Column::Int64("total_" + measure_name, /*updatable=*/true));
+  dim_columns.push_back(Column::Int64("support", /*updatable=*/true));
+  schema_ = Schema(std::move(dim_columns), std::move(key_indices));
+}
+
+Row SummaryView::MakeRow(const Row& dims, int64_t total,
+                         int64_t support) const {
+  WVM_CHECK(dims.size() == dims_);
+  Row row = dims;
+  row.push_back(Value::Int64(total));
+  row.push_back(Value::Int64(support));
+  return row;
+}
+
+Result<SummaryView::ApplyStats> SummaryView::ApplyDelta(
+    baselines::WarehouseEngine* engine, const DeltaBatch& batch) const {
+  ApplyStats stats;
+  stats.events = batch.size();
+
+  // Fold the batch into per-group net deltas (SP89's net effect applied
+  // at the delta level; the engine's decision tables then net-effect any
+  // repeated touches of the same group across batches in one txn).
+  struct GroupDelta {
+    int64_t total = 0;
+    int64_t support = 0;
+  };
+  std::unordered_map<Row, GroupDelta, RowHash, RowEq> deltas;
+  for (const BaseEvent& event : batch) {
+    GroupDelta& d = deltas[event.dims];
+    if (event.retraction) {
+      d.total -= event.amount;
+      d.support -= 1;
+    } else {
+      d.total += event.amount;
+      d.support += 1;
+    }
+  }
+
+  for (const auto& [dims, delta] : deltas) {
+    if (delta.total == 0 && delta.support == 0) continue;
+    ++stats.groups_touched;
+    WVM_ASSIGN_OR_RETURN(std::optional<Row> current,
+                         engine->MaintReadKey(dims));
+    if (!current.has_value()) {
+      if (delta.support <= 0) {
+        return Status::InvalidArgument(
+            "retraction for a group absent from the view");
+      }
+      WVM_RETURN_IF_ERROR(
+          engine->MaintInsert(MakeRow(dims, delta.total, delta.support)));
+      ++stats.inserts;
+      continue;
+    }
+    const int64_t new_total =
+        (*current)[total_col()].AsInt64() + delta.total;
+    const int64_t new_support =
+        (*current)[support_col()].AsInt64() + delta.support;
+    if (new_support < 0) {
+      return Status::InvalidArgument("view support underflow");
+    }
+    if (new_support == 0) {
+      WVM_RETURN_IF_ERROR(engine->MaintDelete(dims));
+      ++stats.deletes;
+    } else {
+      WVM_RETURN_IF_ERROR(
+          engine->MaintUpdate(dims, MakeRow(dims, new_total, new_support)));
+      ++stats.updates;
+    }
+  }
+  return stats;
+}
+
+}  // namespace wvm::warehouse

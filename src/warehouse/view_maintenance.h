@@ -1,0 +1,67 @@
+#ifndef OPENWVM_WAREHOUSE_VIEW_MAINTENANCE_H_
+#define OPENWVM_WAREHOUSE_VIEW_MAINTENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/warehouse_engine.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace wvm::warehouse {
+
+// One base-data event arriving from a source: a sale (amount) attributed
+// to a group, or a retraction of a previously reported sale.
+struct BaseEvent {
+  Row dims;        // group-by attribute values, in dimension order
+  int64_t amount;  // measure contribution
+  bool retraction = false;
+};
+
+using DeltaBatch = std::vector<BaseEvent>;
+
+// A warehouse summary table (§2):
+//   SELECT <dims>, SUM(amount) AS total_<measure>, COUNT(*) AS support
+//   FROM base GROUP BY <dims>
+// The group-by attributes form the unique key and are never updatable;
+// only the aggregate columns change — exactly the shape that makes the
+// 2VNL storage overhead small (§3.1). The hidden support count implements
+// GL95-style maintenance with duplicates: a group disappears when its
+// support drops to zero.
+class SummaryView {
+ public:
+  SummaryView(std::vector<Column> dim_columns, std::string measure_name);
+
+  // dims..., total_<measure> (updatable INT64), support (updatable INT64);
+  // unique key = the dims.
+  const Schema& view_schema() const { return schema_; }
+  size_t total_col() const { return dims_; }
+  size_t support_col() const { return dims_ + 1; }
+  size_t num_dims() const { return dims_; }
+
+  // Builds the view row for a group seen for the first time.
+  Row MakeRow(const Row& dims, int64_t total, int64_t support) const;
+
+  struct ApplyStats {
+    size_t events = 0;
+    size_t groups_touched = 0;
+    size_t inserts = 0;
+    size_t updates = 0;
+    size_t deletes = 0;
+  };
+
+  // Propagates one delta batch into the materialized view through an
+  // engine's open maintenance transaction. Events are first folded into
+  // per-group net deltas (the batch's net effect), then applied as
+  // insert / update / delete maintenance operations.
+  Result<ApplyStats> ApplyDelta(baselines::WarehouseEngine* engine,
+                                const DeltaBatch& batch) const;
+
+ private:
+  size_t dims_;
+  Schema schema_;
+};
+
+}  // namespace wvm::warehouse
+
+#endif  // OPENWVM_WAREHOUSE_VIEW_MAINTENANCE_H_

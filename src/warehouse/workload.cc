@@ -1,0 +1,81 @@
+#include "warehouse/workload.h"
+
+#include "common/strings.h"
+
+namespace wvm::warehouse {
+
+namespace {
+
+// A handful of real names for flavour; the rest are synthesized.
+constexpr const char* kSeedCities[] = {"San Jose", "Berkeley", "Novato",
+                                       "Oakland", "Fremont", "Palo Alto"};
+constexpr const char* kSeedStates[] = {"CA", "CA", "CA",
+                                       "CA", "CA", "CA"};
+constexpr const char* kSeedLines[] = {"golf equip", "racquetball",
+                                      "rollerblades", "skis", "tents"};
+
+}  // namespace
+
+DailySalesWorkload::DailySalesWorkload(DailySalesConfig config)
+    : config_(config),
+      view_(
+          {
+              Column::String("city", 20),
+              Column::String("state", 2),
+              Column::String("product_line", 12),
+              Column::Date("date"),
+          },
+          "sales"),
+      rng_(config.seed) {
+  for (int i = 0; i < config_.num_cities; ++i) {
+    if (i < static_cast<int>(std::size(kSeedCities))) {
+      cities_.push_back(kSeedCities[i]);
+      states_.push_back(kSeedStates[i]);
+    } else {
+      cities_.push_back(StrPrintf("City_%03d", i));
+      states_.push_back(i % 2 == 0 ? "CA" : "NY");
+    }
+  }
+  for (int i = 0; i < config_.num_product_lines; ++i) {
+    if (i < static_cast<int>(std::size(kSeedLines))) {
+      product_lines_.push_back(kSeedLines[i]);
+    } else {
+      product_lines_.push_back(StrPrintf("line_%03d", i));
+    }
+  }
+}
+
+Row DailySalesWorkload::MakeDims(int city_idx, int pl_idx, int day) const {
+  return {Value::String(cities_[city_idx]), Value::String(states_[city_idx]),
+          Value::String(product_lines_[pl_idx]),
+          Value::Date(1996, 10, (day - 1) % 28 + 1)};
+}
+
+DeltaBatch DailySalesWorkload::MakeBatch(int day) {
+  DeltaBatch batch;
+  batch.reserve(static_cast<size_t>(config_.events_per_batch));
+  for (int i = 0; i < config_.events_per_batch; ++i) {
+    if (!history_.empty() && rng_.Bernoulli(config_.retraction_prob)) {
+      // Retract (correct) a previously reported sale.
+      const size_t pick = static_cast<size_t>(
+          rng_.Uniform(0, static_cast<int64_t>(history_.size()) - 1));
+      BaseEvent event = history_[pick];
+      history_[pick] = history_.back();
+      history_.pop_back();
+      event.retraction = true;
+      batch.push_back(std::move(event));
+      continue;
+    }
+    const size_t group =
+        rng_.Zipf(groups_per_day(), config_.zipf_theta);
+    const int city_idx = static_cast<int>(group) % config_.num_cities;
+    const int pl_idx = static_cast<int>(group) / config_.num_cities;
+    BaseEvent event{MakeDims(city_idx, pl_idx, day),
+                    rng_.Uniform(1, config_.max_amount), false};
+    history_.push_back(event);
+    batch.push_back(std::move(event));
+  }
+  return batch;
+}
+
+}  // namespace wvm::warehouse

@@ -1,0 +1,62 @@
+#ifndef OPENWVM_WAREHOUSE_WORKLOAD_H_
+#define OPENWVM_WAREHOUSE_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "warehouse/view_maintenance.h"
+
+namespace wvm::warehouse {
+
+// Synthetic stand-in for the paper's sporting-goods sales feed
+// (Example 2.1): daily batches of sale events over (city, state,
+// product_line, date) groups, with Zipfian skew toward popular groups and
+// occasional retractions (corrections of earlier sales). Deterministic
+// for a given seed.
+struct DailySalesConfig {
+  int num_cities = 25;
+  int num_product_lines = 8;
+  int events_per_batch = 2000;
+  double zipf_theta = 0.6;        // group popularity skew
+  double retraction_prob = 0.03;  // fraction of events that are corrections
+  int64_t max_amount = 500;
+  uint64_t seed = 42;
+};
+
+class DailySalesWorkload {
+ public:
+  explicit DailySalesWorkload(DailySalesConfig config = {});
+
+  // The DailySales summary view over (city, state, product_line, date)
+  // with SUM(total_sales) — the paper's running example.
+  const SummaryView& view() const { return view_; }
+
+  // Events for one day's maintenance batch. `day` is 1-based; batches are
+  // deterministic per (seed, day). Retractions always reference events
+  // generated in earlier (or the same) batch.
+  DeltaBatch MakeBatch(int day);
+
+  // Number of distinct groups possible per day.
+  size_t groups_per_day() const {
+    return static_cast<size_t>(config_.num_cities) *
+           static_cast<size_t>(config_.num_product_lines);
+  }
+
+ private:
+  Row MakeDims(int city_idx, int pl_idx, int day) const;
+
+  DailySalesConfig config_;
+  SummaryView view_;
+  Rng rng_;
+  std::vector<std::string> cities_;
+  std::vector<std::string> states_;
+  std::vector<std::string> product_lines_;
+  // History of emitted, unretracted events (for generating retractions).
+  std::vector<BaseEvent> history_;
+};
+
+}  // namespace wvm::warehouse
+
+#endif  // OPENWVM_WAREHOUSE_WORKLOAD_H_

@@ -1,0 +1,111 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+// The paper's running example (Example 2.1 / Figure 3): DailySales with the
+// group-by key {city, state, product_line, date} and a single updatable
+// aggregate attribute total_sales.
+Schema DailySalesSchema() {
+  return Schema(
+      {
+          Column::String("city", 20),
+          Column::String("state", 2),
+          Column::String("product_line", 12),
+          Column::Date("date"),
+          Column::Int32("total_sales", /*updatable=*/true),
+      },
+      /*key_indices=*/{0, 1, 2, 3});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = DailySalesSchema();
+  EXPECT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.column(0).name, "city");
+  EXPECT_TRUE(s.has_unique_key());
+  EXPECT_EQ(s.key_indices().size(), 4u);
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = DailySalesSchema();
+  ASSERT_TRUE(s.IndexOf("Total_Sales").ok());
+  EXPECT_EQ(s.IndexOf("Total_Sales").value(), 4u);
+  EXPECT_FALSE(s.IndexOf("no_such").ok());
+  EXPECT_TRUE(s.Contains("CITY"));
+}
+
+TEST(SchemaTest, UpdatableIndices) {
+  Schema s = DailySalesSchema();
+  EXPECT_EQ(s.UpdatableIndices(), std::vector<size_t>{4});
+}
+
+// Figure 3: the original DailySales relation is 42 bytes per tuple
+// (20 + 2 + 12 + 4 + 4).
+TEST(SchemaTest, AttributeBytesMatchPaperFigure3) {
+  Schema s = DailySalesSchema();
+  EXPECT_EQ(s.AttributeBytes(), 42u);
+}
+
+TEST(SchemaTest, RowByteSizeAddsNullBitmap) {
+  Schema s = DailySalesSchema();
+  EXPECT_EQ(s.RowByteSize(), 42u + 1u);  // 5 columns -> 1 bitmap byte
+}
+
+TEST(SchemaTest, KeyOfExtractsKeyColumns) {
+  Schema s = DailySalesSchema();
+  Row row = {Value::String("San Jose"), Value::String("CA"),
+             Value::String("golf equip"), Value::Date(1996, 10, 14),
+             Value::Int32(10000)};
+  Row key = s.KeyOf(row);
+  ASSERT_EQ(key.size(), 4u);
+  EXPECT_EQ(key[0].AsString(), "San Jose");
+  EXPECT_EQ(key[3].AsDateRaw(), 19961014);
+}
+
+TEST(SchemaTest, ValidateRowAcceptsGoodRow) {
+  Schema s = DailySalesSchema();
+  Row row = {Value::String("San Jose"), Value::String("CA"),
+             Value::String("golf equip"), Value::Date(1996, 10, 14),
+             Value::Int32(10000)};
+  EXPECT_TRUE(s.ValidateRow(row).ok());
+}
+
+TEST(SchemaTest, ValidateRowRejectsArityMismatch) {
+  Schema s = DailySalesSchema();
+  EXPECT_EQ(s.ValidateRow({Value::Int64(1)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRowRejectsTypeMismatch) {
+  Schema s = DailySalesSchema();
+  Row row = {Value::Int64(3), Value::String("CA"),
+             Value::String("golf equip"), Value::Date(1996, 10, 14),
+             Value::Int32(10000)};
+  EXPECT_EQ(s.ValidateRow(row).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRowAllowsNulls) {
+  Schema s = DailySalesSchema();
+  Row row = {Value::Null(TypeId::kString), Value::Null(TypeId::kString),
+             Value::Null(TypeId::kString), Value::Null(TypeId::kDate),
+             Value::Null(TypeId::kInt32)};
+  EXPECT_TRUE(s.ValidateRow(row).ok());
+}
+
+TEST(SchemaTest, ToStringMentionsKeyAndUpdatable) {
+  std::string s = DailySalesSchema().ToString();
+  EXPECT_NE(s.find("UPDATABLE"), std::string::npos);
+  EXPECT_NE(s.find("KEY(city, state, product_line, date)"),
+            std::string::npos);
+}
+
+TEST(SchemaTest, EqualityComparesStructure) {
+  EXPECT_TRUE(DailySalesSchema() == DailySalesSchema());
+  Schema other({Column::Int64("x")});
+  EXPECT_FALSE(DailySalesSchema() == other);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,78 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wvm {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    size_t v = rng.Zipf(10, 0.0);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(11);
+  std::map<size_t, int> counts;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.Zipf(100, 0.9)]++;
+  // Index 0 should dominate any mid-range index by a wide margin.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  // All draws in range.
+  for (const auto& [idx, _] : counts) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, ZipfHandlesParameterChanges) {
+  Rng rng(5);
+  // Alternate (n, theta) to exercise cache rebuilds.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.Zipf(10, 0.5), 10u);
+    EXPECT_LT(rng.Zipf(1000, 0.99), 1000u);
+    EXPECT_EQ(rng.Zipf(1, 0.5), 0u);
+  }
+}
+
+TEST(RngTest, PickFromReturnsMember) {
+  Rng rng(9);
+  std::vector<std::string> items = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& s = rng.PickFrom(items);
+    EXPECT_TRUE(s == "a" || s == "b" || s == "c");
+  }
+}
+
+}  // namespace
+}  // namespace wvm

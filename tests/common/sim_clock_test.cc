@@ -1,0 +1,39 @@
+#include "common/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+TEST(SimClockTest, MakeSimTime) {
+  EXPECT_EQ(MakeSimTime(0, 0, 0), 0);
+  EXPECT_EQ(MakeSimTime(0, 9, 0), 9 * 60);
+  EXPECT_EQ(MakeSimTime(1, 8, 30), 24 * 60 + 8 * 60 + 30);
+}
+
+TEST(SimClockTest, Formatting) {
+  EXPECT_EQ(SimTimeToString(MakeSimTime(0, 0, 0)), "day 0 00:00");
+  EXPECT_EQ(SimTimeToString(MakeSimTime(2, 9, 5)), "day 2 09:05");
+  EXPECT_EQ(SimTimeToString(MakeSimTime(1, 23, 59)), "day 1 23:59");
+}
+
+TEST(SimClockTest, AdvanceIsMonotonic) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.AdvanceTo(50);  // never goes backwards
+  EXPECT_EQ(clock.now(), 100);
+  clock.AdvanceBy(25);
+  EXPECT_EQ(clock.now(), 125);
+  clock.AdvanceBy(-10);  // negative deltas ignored
+  EXPECT_EQ(clock.now(), 125);
+}
+
+TEST(SimClockTest, StartOffset) {
+  SimClock clock(MakeSimTime(3, 12, 0));
+  EXPECT_EQ(SimTimeToString(clock.now()), "day 3 12:00");
+}
+
+}  // namespace
+}  // namespace wvm

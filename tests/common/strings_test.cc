@@ -1,0 +1,38 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+TEST(StringsTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+  EXPECT_EQ(StrPrintf("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+}
+
+TEST(StringsTest, StrPrintfLongOutput) {
+  std::string big(500, 'a');
+  EXPECT_EQ(StrPrintf("%s!", big.c_str()), big + "!");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToUpperAscii("Select *"), "SELECT *");
+  EXPECT_EQ(ToLowerAscii("Select *"), "select *");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCaseAscii("tupleVN", "TUPLEVN"));
+  EXPECT_TRUE(EqualsIgnoreCaseAscii("", ""));
+  EXPECT_FALSE(EqualsIgnoreCaseAscii("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCaseAscii("abc", "abd"));
+}
+
+}  // namespace
+}  // namespace wvm

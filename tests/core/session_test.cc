@@ -1,0 +1,108 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm::core {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : pool_(16, &disk_) {
+    auto vr = VersionRelation::Create(&pool_);
+    EXPECT_TRUE(vr.ok());
+    vr_ = std::move(vr).value();
+  }
+
+  void RunMaintenance() {
+    Result<Vn> vn = vr_->BeginMaintenance();
+    ASSERT_TRUE(vn.ok());
+    ASSERT_TRUE(vr_->CommitMaintenance(vn.value()).ok());
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  std::unique_ptr<VersionRelation> vr_;
+};
+
+TEST_F(SessionTest, OpenPinsCurrentVersion) {
+  RunMaintenance();  // currentVN = 1
+  SessionManager mgr(vr_.get());
+  ReaderSession s = mgr.Open();
+  EXPECT_EQ(s.session_vn, 1);
+  EXPECT_TRUE(mgr.CheckNotExpired(s).ok());
+  EXPECT_EQ(mgr.active_sessions(), 1u);
+  mgr.Close(s);
+  EXPECT_EQ(mgr.active_sessions(), 0u);
+}
+
+// The paper's §4.1 condition: a session survives one full maintenance
+// commit, and expires when a second maintenance transaction begins.
+TEST_F(SessionTest, TwoVnlExpirationLifecycle) {
+  RunMaintenance();  // currentVN = 1
+  SessionManager mgr(vr_.get());
+  ReaderSession s = mgr.Open();
+
+  // During maintenance txn 2 the session stays valid (reads version 1).
+  Result<Vn> vn = vr_->BeginMaintenance();
+  ASSERT_TRUE(vn.ok());
+  EXPECT_TRUE(mgr.CheckNotExpired(s).ok());
+
+  // After commit: still valid (version 1 is now the previous version).
+  ASSERT_TRUE(vr_->CommitMaintenance(vn.value()).ok());
+  EXPECT_TRUE(mgr.CheckNotExpired(s).ok());
+
+  // When the next maintenance transaction begins, version 1 expires.
+  ASSERT_TRUE(vr_->BeginMaintenance().ok());
+  Status expired = mgr.CheckNotExpired(s);
+  EXPECT_EQ(expired.code(), StatusCode::kSessionExpired);
+}
+
+TEST_F(SessionTest, NvnlSurvivesMoreOverlaps) {
+  RunMaintenance();  // currentVN = 1
+  SessionManager mgr(vr_.get(), /*n=*/3);
+  ReaderSession s = mgr.Open();
+
+  // First overlap: commit txn 2, begin txn 3 — still valid under 3VNL.
+  RunMaintenance();
+  ASSERT_TRUE(vr_->BeginMaintenance().ok());
+  EXPECT_TRUE(mgr.CheckNotExpired(s).ok());
+  ASSERT_TRUE(vr_->CommitMaintenance(3).ok());
+  EXPECT_TRUE(mgr.CheckNotExpired(s).ok());
+
+  // Second overlap begins: now expired.
+  ASSERT_TRUE(vr_->BeginMaintenance().ok());
+  EXPECT_EQ(mgr.CheckNotExpired(s).code(), StatusCode::kSessionExpired);
+}
+
+TEST_F(SessionTest, MinActiveSessionVn) {
+  SessionManager mgr(vr_.get());
+  EXPECT_EQ(mgr.MinActiveSessionVn(42), 42);  // fallback when none
+
+  ReaderSession a = mgr.Open();  // VN 0
+  RunMaintenance();
+  ReaderSession b = mgr.Open();  // VN 1
+  EXPECT_EQ(mgr.MinActiveSessionVn(99), 0);
+  mgr.Close(a);
+  EXPECT_EQ(mgr.MinActiveSessionVn(99), 1);
+  mgr.Close(b);
+  EXPECT_EQ(mgr.MinActiveSessionVn(99), 99);
+}
+
+TEST_F(SessionTest, ForceExpireBelow) {
+  RunMaintenance();
+  SessionManager mgr(vr_.get());
+  ReaderSession s = mgr.Open();  // VN 1
+  EXPECT_TRUE(mgr.CheckNotExpired(s).ok());
+  mgr.ForceExpireBelow(2);
+  EXPECT_EQ(mgr.CheckNotExpired(s).code(), StatusCode::kSessionExpired);
+}
+
+TEST_F(SessionTest, SessionsHaveDistinctIds) {
+  SessionManager mgr(vr_.get());
+  ReaderSession a = mgr.Open();
+  ReaderSession b = mgr.Open();
+  EXPECT_NE(a.id, b.id);
+}
+
+}  // namespace
+}  // namespace wvm::core

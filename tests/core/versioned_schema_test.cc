@@ -1,0 +1,165 @@
+#include "core/versioned_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm::core {
+namespace {
+
+Schema DailySales() {
+  return Schema(
+      {
+          Column::String("city", 20),
+          Column::String("state", 2),
+          Column::String("product_line", 12),
+          Column::Date("date"),
+          Column::Int32("total_sales", /*updatable=*/true),
+      },
+      {0, 1, 2, 3});
+}
+
+Row DailyRow(const std::string& city, const std::string& pl, int d,
+             int32_t sales) {
+  return {Value::String(city), Value::String("CA"), Value::String(pl),
+          Value::Date(1996, 10, d), Value::Int32(sales)};
+}
+
+TEST(VersionedSchemaTest, TwoVnlLayoutMatchesFigure3) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 2);
+  ASSERT_TRUE(vs.ok());
+  const Schema& phys = vs->physical();
+  // Logical columns first, then tupleVN, operation, pre_total_sales.
+  ASSERT_EQ(phys.num_columns(), 8u);
+  EXPECT_EQ(phys.column(5).name, "tupleVN");
+  EXPECT_EQ(phys.column(6).name, "operation");
+  EXPECT_EQ(phys.column(7).name, "pre_total_sales");
+  EXPECT_EQ(vs->TupleVnIndex(0), 5u);
+  EXPECT_EQ(vs->OperationIndex(0), 6u);
+  EXPECT_EQ(vs->PreIndex(0, 0), 7u);
+}
+
+// Figure 3: 42 bytes -> 51 bytes under the paper's accounting
+// (4-byte tupleVN + 1-byte operation + 4-byte pre_total_sales).
+TEST(VersionedSchemaTest, PaperAttributeBytesMatchFigure3) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 2);
+  ASSERT_TRUE(vs.ok());
+  EXPECT_EQ(vs->logical().AttributeBytes(), 42u);
+  EXPECT_EQ(vs->PaperAttributeBytes(), 51u);
+  // ~20% overhead, as the paper states.
+  const double overhead =
+      static_cast<double>(vs->PaperAttributeBytes()) / 42.0 - 1.0;
+  EXPECT_NEAR(overhead, 0.214, 0.01);
+}
+
+TEST(VersionedSchemaTest, FourVnlNamesMatchFigure7) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 4);
+  ASSERT_TRUE(vs.ok());
+  const Schema& phys = vs->physical();
+  EXPECT_TRUE(phys.Contains("tupleVN1"));
+  EXPECT_TRUE(phys.Contains("operation1"));
+  EXPECT_TRUE(phys.Contains("pre_total_sales1"));
+  EXPECT_TRUE(phys.Contains("tupleVN3"));
+  EXPECT_TRUE(phys.Contains("pre_total_sales3"));
+  EXPECT_FALSE(phys.Contains("tupleVN"));  // unsuffixed only for n = 2
+  EXPECT_EQ(vs->num_slots(), 3);
+}
+
+TEST(VersionedSchemaTest, RejectsBadInputs) {
+  EXPECT_FALSE(VersionedSchema::Create(DailySales(), 1).ok());
+  // Name collision with bookkeeping columns.
+  EXPECT_FALSE(
+      VersionedSchema::Create(Schema({Column::Int64("tupleVN")}), 2).ok());
+  EXPECT_FALSE(
+      VersionedSchema::Create(Schema({Column::Int64("pre_x")}), 2).ok());
+  // Updatable key attribute.
+  Schema bad({Column::Int64("k", /*updatable=*/true)}, {0});
+  EXPECT_FALSE(VersionedSchema::Create(bad, 2).ok());
+}
+
+TEST(VersionedSchemaTest, MakeInsertRowInitializesSlots) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 3);
+  ASSERT_TRUE(vs.ok());
+  Row phys = vs->MakeInsertRow(DailyRow("San Jose", "golf equip", 14, 100),
+                               /*vn=*/5);
+  EXPECT_EQ(vs->TupleVn(phys, 0), 5);
+  EXPECT_EQ(vs->Operation(phys, 0).value(), Op::kInsert);
+  EXPECT_TRUE(phys[vs->PreIndex(0, 0)].is_null());
+  EXPECT_TRUE(vs->SlotEmpty(phys, 1));
+  EXPECT_EQ(vs->PopulatedSlots(phys), 1);
+}
+
+TEST(VersionedSchemaTest, ProjectionsRoundTrip) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 2);
+  ASSERT_TRUE(vs.ok());
+  Row logical = DailyRow("San Jose", "golf equip", 14, 12000);
+  Row phys = vs->MakeInsertRow(logical, 4);
+  EXPECT_EQ(vs->CurrentLogical(phys), logical);
+
+  // Simulate an update: PV <- CV, CV <- new.
+  vs->CopyCurrentToPre(&phys, 0);
+  Row updated = logical;
+  updated[4] = Value::Int32(15000);
+  vs->SetCurrent(&phys, updated);
+  vs->SetSlot(&phys, 0, 5, Op::kUpdate);
+
+  EXPECT_EQ(vs->CurrentLogical(phys)[4].AsInt32(), 15000);
+  Row pre = vs->PreUpdateLogical(phys, 0);
+  EXPECT_EQ(pre[4].AsInt32(), 12000);
+  // Non-updatable attributes come from the current values.
+  EXPECT_EQ(pre[0].AsString(), "San Jose");
+}
+
+TEST(VersionedSchemaTest, PushBackShiftsSlots) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 3);
+  ASSERT_TRUE(vs.ok());
+  Row phys = vs->MakeInsertRow(DailyRow("a", "b", 1, 10), 3);
+  vs->PushBack(&phys);
+  EXPECT_EQ(vs->TupleVn(phys, 1), 3);
+  EXPECT_EQ(vs->Operation(phys, 1).value(), Op::kInsert);
+  // Slot 0 still holds stale data until the caller overwrites it.
+  vs->SetSlot(&phys, 0, 5, Op::kUpdate);
+  EXPECT_EQ(vs->PopulatedSlots(phys), 2);
+
+  vs->PushForward(&phys);
+  EXPECT_EQ(vs->TupleVn(phys, 0), 3);
+  EXPECT_EQ(vs->Operation(phys, 0).value(), Op::kInsert);
+  EXPECT_TRUE(vs->SlotEmpty(phys, 1));
+}
+
+TEST(VersionedSchemaTest, ReadVersionTwoVnl) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 2);
+  ASSERT_TRUE(vs.ok());
+  // Tuple updated at VN 4: CV = 12000, PV = 10000.
+  Row phys = vs->MakeInsertRow(DailyRow("Berkeley", "racquetball", 14,
+                                        12000), 4);
+  vs->SetSlot(&phys, 0, 4, Op::kUpdate);
+  phys[vs->PreIndex(0, 0)] = Value::Int32(10000);
+
+  Row out;
+  EXPECT_EQ(ReadVersion(*vs, phys, 4, &out), ReadOutcome::kRow);
+  EXPECT_EQ(out[4].AsInt32(), 12000);
+  EXPECT_EQ(ReadVersion(*vs, phys, 5, &out), ReadOutcome::kRow);
+  EXPECT_EQ(out[4].AsInt32(), 12000);
+  EXPECT_EQ(ReadVersion(*vs, phys, 3, &out), ReadOutcome::kRow);
+  EXPECT_EQ(out[4].AsInt32(), 10000);
+  EXPECT_EQ(ReadVersion(*vs, phys, 2, &out), ReadOutcome::kExpired);
+}
+
+TEST(VersionedSchemaTest, ReadVersionInsertAndDelete) {
+  Result<VersionedSchema> vs = VersionedSchema::Create(DailySales(), 2);
+  ASSERT_TRUE(vs.ok());
+  Row inserted = vs->MakeInsertRow(DailyRow("a", "b", 1, 1), 4);
+  Row out;
+  EXPECT_EQ(ReadVersion(*vs, inserted, 4, &out), ReadOutcome::kRow);
+  EXPECT_EQ(ReadVersion(*vs, inserted, 3, &out), ReadOutcome::kIgnore);
+  EXPECT_EQ(ReadVersion(*vs, inserted, 2, &out), ReadOutcome::kExpired);
+
+  Row deleted = vs->MakeInsertRow(DailyRow("a", "b", 1, 8000), 4);
+  vs->SetSlot(&deleted, 0, 4, Op::kDelete);
+  deleted[vs->PreIndex(0, 0)] = Value::Int32(8000);
+  EXPECT_EQ(ReadVersion(*vs, deleted, 4, &out), ReadOutcome::kIgnore);
+  EXPECT_EQ(ReadVersion(*vs, deleted, 3, &out), ReadOutcome::kRow);
+  EXPECT_EQ(out[4].AsInt32(), 8000);
+}
+
+}  // namespace
+}  // namespace wvm::core

@@ -1,0 +1,407 @@
+#include "core/vnl_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "core/vnl_engine.h"
+#include "sql/parser.h"
+
+namespace wvm::core {
+namespace {
+
+Schema DailySales() {
+  return Schema(
+      {
+          Column::String("city", 20),
+          Column::String("state", 2),
+          Column::String("product_line", 12),
+          Column::Date("date"),
+          Column::Int32("total_sales", /*updatable=*/true),
+      },
+      {0, 1, 2, 3});
+}
+
+Row DailyRow(const std::string& city, const std::string& pl, int day,
+             int32_t sales) {
+  return {Value::String(city), Value::String("CA"), Value::String(pl),
+          Value::Date(1996, 10, day), Value::Int32(sales)};
+}
+
+Row DailyKey(const std::string& city, const std::string& pl, int day) {
+  return {Value::String(city), Value::String("CA"), Value::String(pl),
+          Value::Date(1996, 10, day)};
+}
+
+class VnlTableTest : public ::testing::TestWithParam<int> {
+ protected:
+  VnlTableTest() : pool_(512, &disk_) {
+    auto engine = VnlEngine::Create(&pool_, GetParam());
+    WVM_CHECK(engine.ok());
+    engine_ = std::move(engine).value();
+    auto table = engine_->CreateTable("DailySales", DailySales());
+    WVM_CHECK(table.ok());
+    table_ = table.value();
+  }
+
+  MaintenanceTxn* Begin() {
+    Result<MaintenanceTxn*> txn = engine_->BeginMaintenance();
+    WVM_CHECK(txn.ok());
+    return txn.value();
+  }
+
+  void Commit(MaintenanceTxn* txn) {
+    WVM_CHECK(engine_->Commit(txn).ok());
+  }
+
+  // Loads the Figure 4-style baseline: one committed txn inserting rows.
+  void LoadInitialData() {
+    MaintenanceTxn* txn = Begin();
+    ASSERT_TRUE(
+        table_->Insert(txn, DailyRow("San Jose", "golf equip", 14, 10000))
+            .ok());
+    ASSERT_TRUE(
+        table_->Insert(txn, DailyRow("Berkeley", "racquetball", 14, 12000))
+            .ok());
+    ASSERT_TRUE(
+        table_->Insert(txn, DailyRow("Novato", "rollerblades", 13, 8000))
+            .ok());
+    Commit(txn);
+  }
+
+  RowPredicate CityIs(const std::string& city) {
+    return [city](const Row& row) -> Result<bool> {
+      return row[0].AsString() == city;
+    };
+  }
+
+  RowTransform AddSales(int32_t delta) {
+    return [delta](const Row& row) -> Result<Row> {
+      Row next = row;
+      next[4] = Value::Int32(next[4].AsInt32() + delta);
+      return next;
+    };
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  std::unique_ptr<VnlEngine> engine_;
+  VnlTable* table_;
+};
+
+TEST_P(VnlTableTest, InsertAndSnapshotRead) {
+  LoadInitialData();
+  ReaderSession s = engine_->OpenSession();
+  EXPECT_EQ(s.session_vn, 1);
+  Result<std::vector<Row>> rows = table_->SnapshotRows(s);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_P(VnlTableTest, ReaderSeesPreUpdateVersionDuringMaintenance) {
+  LoadInitialData();
+  ReaderSession s = engine_->OpenSession();  // VN 1
+
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(table_->Update(txn, CityIs("San Jose"), AddSales(5000)).ok());
+
+  // Uncommitted writes are invisible: the reader still sees 10000.
+  Result<std::optional<Row>> row =
+      table_->SnapshotLookup(s, DailyKey("San Jose", "golf equip", 14));
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[4].AsInt32(), 10000);
+
+  // The maintenance transaction itself reads the latest version.
+  Result<std::optional<Row>> m =
+      table_->MaintenanceLookup(txn, DailyKey("San Jose", "golf equip", 14));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((**m)[4].AsInt32(), 15000);
+
+  Commit(txn);
+
+  // Even after commit the session keeps reading version 1.
+  row = table_->SnapshotLookup(s, DailyKey("San Jose", "golf equip", 14));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((**row)[4].AsInt32(), 10000);
+
+  // A new session sees the new version.
+  ReaderSession s2 = engine_->OpenSession();
+  row = table_->SnapshotLookup(s2, DailyKey("San Jose", "golf equip", 14));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((**row)[4].AsInt32(), 15000);
+}
+
+TEST_P(VnlTableTest, DeleteIsLogicalUntilGc) {
+  LoadInitialData();
+  ReaderSession old_session = engine_->OpenSession();
+
+  MaintenanceTxn* txn = Begin();
+  Result<size_t> n = table_->Delete(txn, CityIs("Novato"));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1u);
+  Commit(txn);
+
+  // Old session still sees the tuple; new session does not.
+  Result<std::optional<Row>> old_row = table_->SnapshotLookup(
+      old_session, DailyKey("Novato", "rollerblades", 13));
+  ASSERT_TRUE(old_row.ok());
+  EXPECT_TRUE(old_row->has_value());
+
+  ReaderSession fresh = engine_->OpenSession();
+  Result<std::optional<Row>> new_row =
+      table_->SnapshotLookup(fresh, DailyKey("Novato", "rollerblades", 13));
+  ASSERT_TRUE(new_row.ok());
+  EXPECT_FALSE(new_row->has_value());
+
+  // Physically the tuple is still there (logical delete).
+  EXPECT_EQ(table_->physical_rows(), 3u);
+}
+
+TEST_P(VnlTableTest, InsertDuplicateKeyFails) {
+  LoadInitialData();
+  MaintenanceTxn* txn = Begin();
+  Status s =
+      table_->Insert(txn, DailyRow("San Jose", "golf equip", 14, 999));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  Commit(txn);
+}
+
+TEST_P(VnlTableTest, ReinsertAfterDeleteInLaterTxn) {
+  LoadInitialData();
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(table_->Delete(txn, CityIs("Novato")).ok());
+  Commit(txn);
+
+  MaintenanceTxn* txn2 = Begin();
+  ASSERT_TRUE(
+      table_->Insert(txn2, DailyRow("Novato", "rollerblades", 13, 6000))
+          .ok());
+  Commit(txn2);
+
+  ReaderSession s = engine_->OpenSession();
+  Result<std::optional<Row>> row =
+      table_->SnapshotLookup(s, DailyKey("Novato", "rollerblades", 13));
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[4].AsInt32(), 6000);
+  // Re-insert reused the physical tuple (a physical update, Table 2 row 1).
+  EXPECT_EQ(table_->physical_rows(), 3u);
+}
+
+TEST_P(VnlTableTest, NetEffectInsertThenUpdateStaysInsert) {
+  LoadInitialData();
+  ReaderSession before = engine_->OpenSession();  // VN 1
+
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(
+      table_->Insert(txn, DailyRow("Oakland", "tents", 16, 100)).ok());
+  ASSERT_TRUE(table_->Update(txn, CityIs("Oakland"), AddSales(50)).ok());
+  Commit(txn);
+
+  // Sessions from before the txn must IGNORE the tuple — if the net
+  // effect had been recorded as 'update' they would wrongly read PV.
+  Result<std::optional<Row>> old_row =
+      table_->SnapshotLookup(before, DailyKey("Oakland", "tents", 16));
+  ASSERT_TRUE(old_row.ok());
+  EXPECT_FALSE(old_row->has_value());
+
+  ReaderSession after = engine_->OpenSession();
+  Result<std::optional<Row>> new_row =
+      table_->SnapshotLookup(after, DailyKey("Oakland", "tents", 16));
+  ASSERT_TRUE(new_row.ok());
+  ASSERT_TRUE(new_row->has_value());
+  EXPECT_EQ((**new_row)[4].AsInt32(), 150);
+}
+
+TEST_P(VnlTableTest, NetEffectInsertThenDeleteVanishes) {
+  LoadInitialData();
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(
+      table_->Insert(txn, DailyRow("Oakland", "tents", 16, 100)).ok());
+  ASSERT_TRUE(table_->Delete(txn, CityIs("Oakland")).ok());
+  Commit(txn);
+
+  ReaderSession s = engine_->OpenSession();
+  Result<std::optional<Row>> row =
+      table_->SnapshotLookup(s, DailyKey("Oakland", "tents", 16));
+  ASSERT_TRUE(row.ok());
+  EXPECT_FALSE(row->has_value());
+  EXPECT_EQ(table_->physical_rows(), 3u);  // fully gone
+}
+
+TEST_P(VnlTableTest, NetEffectDeleteThenInsertIsUpdate) {
+  LoadInitialData();
+  ReaderSession before = engine_->OpenSession();  // VN 1
+
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(table_->Delete(txn, CityIs("Novato")).ok());
+  ASSERT_TRUE(
+      table_->Insert(txn, DailyRow("Novato", "rollerblades", 13, 6000))
+          .ok());
+  Commit(txn);
+
+  // Old session reads the pre-transaction value (net effect = update).
+  Result<std::optional<Row>> old_row =
+      table_->SnapshotLookup(before, DailyKey("Novato", "rollerblades", 13));
+  ASSERT_TRUE(old_row.ok());
+  ASSERT_TRUE(old_row->has_value());
+  EXPECT_EQ((**old_row)[4].AsInt32(), 8000);
+
+  ReaderSession after = engine_->OpenSession();
+  Result<std::optional<Row>> new_row =
+      table_->SnapshotLookup(after, DailyKey("Novato", "rollerblades", 13));
+  ASSERT_TRUE(new_row.ok());
+  EXPECT_EQ((**new_row)[4].AsInt32(), 6000);
+}
+
+TEST_P(VnlTableTest, UpdateTwiceInSameTxnKeepsOriginalPreVersion) {
+  LoadInitialData();
+  ReaderSession before = engine_->OpenSession();
+
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(table_->Update(txn, CityIs("Berkeley"), AddSales(1000)).ok());
+  ASSERT_TRUE(table_->Update(txn, CityIs("Berkeley"), AddSales(1000)).ok());
+  Commit(txn);
+
+  Result<std::optional<Row>> old_row =
+      table_->SnapshotLookup(before, DailyKey("Berkeley", "racquetball", 14));
+  ASSERT_TRUE(old_row.ok());
+  EXPECT_EQ((**old_row)[4].AsInt32(), 12000);  // not 13000
+
+  ReaderSession after = engine_->OpenSession();
+  Result<std::optional<Row>> new_row =
+      table_->SnapshotLookup(after, DailyKey("Berkeley", "racquetball", 14));
+  ASSERT_TRUE(new_row.ok());
+  EXPECT_EQ((**new_row)[4].AsInt32(), 14000);
+}
+
+TEST_P(VnlTableTest, SessionExpiresAfterTwoOverlapsAtN2) {
+  if (GetParam() != 2) GTEST_SKIP() << "2VNL-specific expiration timing";
+  LoadInitialData();
+  ReaderSession s = engine_->OpenSession();  // VN 1
+
+  // Maintenance txn 2 modifies the tuple; session still fine.
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(table_->Update(txn, CityIs("San Jose"), AddSales(1)).ok());
+  Commit(txn);
+  ASSERT_TRUE(table_->SnapshotRows(s).ok());
+
+  // Maintenance txn 3 modifies it again: the session can no longer
+  // reconstruct version 1 — tuple-level detection fires.
+  MaintenanceTxn* txn3 = Begin();
+  ASSERT_TRUE(table_->Update(txn3, CityIs("San Jose"), AddSales(1)).ok());
+  Result<std::vector<Row>> rows = table_->SnapshotRows(s);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kSessionExpired);
+  // The global pessimistic check agrees.
+  EXPECT_EQ(engine_->CheckSession(s).code(), StatusCode::kSessionExpired);
+  Commit(txn3);
+}
+
+TEST_P(VnlTableTest, MaintenanceRequiresActiveTxn) {
+  LoadInitialData();
+  MaintenanceTxn* txn = Begin();
+  Commit(txn);
+  // txn is no longer active; all maintenance ops must fail.
+  EXPECT_EQ(table_->Insert(txn, DailyRow("X", "y", 1, 1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(table_->Update(txn, CityIs("X"), AddSales(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(table_->Delete(txn, CityIs("X")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_P(VnlTableTest, SingleWriterEnforced) {
+  Result<MaintenanceTxn*> a = engine_->BeginMaintenance();
+  ASSERT_TRUE(a.ok());
+  Result<MaintenanceTxn*> b = engine_->BeginMaintenance();
+  EXPECT_EQ(b.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine_->Commit(a.value()).ok());
+}
+
+TEST_P(VnlTableTest, UpdateCannotChangeKey) {
+  LoadInitialData();
+  MaintenanceTxn* txn = Begin();
+  RowTransform corrupt_key = [](const Row& row) -> Result<Row> {
+    Row next = row;
+    next[0] = Value::String("Renamed");
+    return next;
+  };
+  Result<size_t> r = table_->Update(txn, CityIs("Novato"), corrupt_key);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  Commit(txn);
+}
+
+TEST_P(VnlTableTest, SnapshotSelectRunsAggregates) {
+  LoadInitialData();
+  ReaderSession s = engine_->OpenSession();
+  Result<sql::SelectStmt> stmt = sql::ParseSelect(
+      "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city");
+  ASSERT_TRUE(stmt.ok());
+  Result<query::QueryResult> result = table_->SnapshotSelect(s, *stmt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "Berkeley");
+  EXPECT_EQ(result->rows[0][1].AsInt32(), 12000);
+}
+
+TEST_P(VnlTableTest, TxnStatsTrackOperations) {
+  LoadInitialData();
+  MaintenanceTxn* txn = Begin();
+  ASSERT_TRUE(table_->Insert(txn, DailyRow("Oakland", "tents", 16, 1)).ok());
+  ASSERT_TRUE(table_->Update(txn, CityIs("San Jose"), AddSales(1)).ok());
+  ASSERT_TRUE(table_->Delete(txn, CityIs("Novato")).ok());
+  EXPECT_EQ(txn->stats().logical_inserts, 1u);
+  EXPECT_EQ(txn->stats().logical_updates, 1u);
+  EXPECT_EQ(txn->stats().logical_deletes, 1u);
+  EXPECT_EQ(txn->stats().physical_inserts, 1u);
+  // update + delete both become physical updates.
+  EXPECT_EQ(txn->stats().physical_updates, 2u);
+  Commit(txn);
+}
+
+// Concurrency smoke test: a reader repeatedly aggregates its snapshot
+// while maintenance churns; the sum must never move mid-session.
+TEST_P(VnlTableTest, ReaderIsolationUnderConcurrentMaintenance) {
+  LoadInitialData();
+  ReaderSession s = engine_->OpenSession();
+
+  Result<sql::SelectStmt> stmt =
+      sql::ParseSelect("SELECT SUM(total_sales) FROM DailySales");
+  ASSERT_TRUE(stmt.ok());
+  Result<query::QueryResult> first = table_->SnapshotSelect(s, *stmt);
+  ASSERT_TRUE(first.ok());
+  const int64_t expected = first->rows[0][0].AsInt64();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Result<MaintenanceTxn*> txn = engine_->BeginMaintenance();
+    ASSERT_TRUE(txn.ok());
+    int32_t delta = 1;
+    while (!stop.load()) {
+      ASSERT_TRUE(
+          table_->Update(txn.value(), CityIs("San Jose"), AddSales(delta))
+              .ok());
+    }
+    ASSERT_TRUE(engine_->Commit(txn.value()).ok());
+  });
+
+  for (int i = 0; i < 100; ++i) {
+    Result<query::QueryResult> again = table_->SnapshotSelect(s, *stmt);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->rows[0][0].AsInt64(), expected) << "iteration " << i;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, VnlTableTest, ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace wvm::core

@@ -1,0 +1,213 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+#include "common/logging.h"
+#include "sql/parser.h"
+
+namespace wvm::query {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : pool_(256, &disk_), catalog_(&pool_) {
+    Schema schema(
+        {
+            Column::String("city", 20),
+            Column::String("state", 2),
+            Column::String("product_line", 12),
+            Column::Date("date"),
+            Column::Int64("total_sales", /*updatable=*/true),
+        },
+        {0, 1, 2, 3});
+    Result<Table*> t = catalog_.CreateTable("DailySales", schema);
+    WVM_CHECK(t.ok());
+    table_ = t.value();
+
+    Insert("San Jose", "CA", "golf equip", 19961014, 10000);
+    Insert("San Jose", "CA", "golf equip", 19961015, 1500);
+    Insert("San Jose", "CA", "racquetball", 19961014, 500);
+    Insert("Berkeley", "CA", "racquetball", 19961014, 12000);
+    Insert("Novato", "CA", "rollerblades", 19961013, 8000);
+  }
+
+  void Insert(const std::string& city, const std::string& state,
+              const std::string& pl, int32_t date, int64_t sales) {
+    Row row = {Value::String(city), Value::String(state), Value::String(pl),
+               Value::Date(date / 10000, (date / 100) % 100, date % 100),
+               Value::Int64(sales)};
+    WVM_CHECK(table_->InsertRow(row).ok());
+  }
+
+  QueryResult Run(const std::string& sql, const ParamMap& params = {}) {
+    Result<sql::SelectStmt> stmt = sql::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Result<QueryResult> r = ExecuteSelect(*stmt, *table_, params);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  Table* table_;
+};
+
+TEST_F(ExecutorTest, SelectStarReturnsAllRows) {
+  QueryResult r = Run("SELECT * FROM DailySales");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.column_names.size(), 5u);
+  EXPECT_EQ(r.column_names[0], "city");
+}
+
+TEST_F(ExecutorTest, ProjectionAndWhere) {
+  QueryResult r = Run(
+      "SELECT city, total_sales FROM DailySales WHERE total_sales > 5000");
+  EXPECT_EQ(r.rows.size(), 3u);
+  for (const Row& row : r.rows) {
+    EXPECT_GT(row[1].AsInt64(), 5000);
+  }
+}
+
+TEST_F(ExecutorTest, ComputedProjection) {
+  QueryResult r = Run(
+      "SELECT total_sales * 2 AS doubled FROM DailySales "
+      "WHERE city = 'Novato'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.column_names[0], "doubled");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 16000);
+}
+
+// Paper Example 2.1, first analyst query: total sales per city.
+TEST_F(ExecutorTest, GroupBySumLikePaper) {
+  QueryResult r = Run(
+      "SELECT city, state, SUM(total_sales) FROM DailySales "
+      "GROUP BY city, state");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // Sorted by group key: Berkeley, Novato, San Jose.
+  EXPECT_EQ(r.rows[0][0].AsString(), "Berkeley");
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 12000);
+  EXPECT_EQ(r.rows[1][0].AsString(), "Novato");
+  EXPECT_EQ(r.rows[1][2].AsInt64(), 8000);
+  EXPECT_EQ(r.rows[2][0].AsString(), "San Jose");
+  EXPECT_EQ(r.rows[2][2].AsInt64(), 12000);
+}
+
+// Paper Example 2.1, drill-down query.
+TEST_F(ExecutorTest, DrillDownLikePaper) {
+  QueryResult r = Run(
+      "SELECT product_line, SUM(total_sales) FROM DailySales "
+      "WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "golf equip");
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 11500);
+  EXPECT_EQ(r.rows[1][0].AsString(), "racquetball");
+  EXPECT_EQ(r.rows[1][1].AsInt64(), 500);
+}
+
+// The drill-down total must equal the city total — the consistency the
+// paper's analyst expects across the two queries.
+TEST_F(ExecutorTest, DrillDownSumsMatchCityTotal) {
+  QueryResult city = Run(
+      "SELECT city, SUM(total_sales) FROM DailySales "
+      "WHERE city = 'San Jose' GROUP BY city");
+  QueryResult drill = Run(
+      "SELECT product_line, SUM(total_sales) FROM DailySales "
+      "WHERE city = 'San Jose' GROUP BY product_line");
+  int64_t drill_total = 0;
+  for (const Row& row : drill.rows) drill_total += row[1].AsInt64();
+  ASSERT_EQ(city.rows.size(), 1u);
+  EXPECT_EQ(city.rows[0][1].AsInt64(), drill_total);
+}
+
+TEST_F(ExecutorTest, GrandTotalAggregates) {
+  QueryResult r = Run(
+      "SELECT COUNT(*), SUM(total_sales), MIN(total_sales), "
+      "MAX(total_sales), AVG(total_sales) FROM DailySales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 5);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 32000);
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 500);
+  EXPECT_EQ(r.rows[0][3].AsInt64(), 12000);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsDouble(), 6400.0);
+}
+
+TEST_F(ExecutorTest, GrandTotalOnEmptyInput) {
+  QueryResult r = Run(
+      "SELECT COUNT(*), SUM(total_sales) FROM DailySales "
+      "WHERE city = 'Nowhere'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupByOnEmptyInputYieldsNoRows) {
+  QueryResult r = Run(
+      "SELECT city, SUM(total_sales) FROM DailySales "
+      "WHERE city = 'Nowhere' GROUP BY city");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(ExecutorTest, CountStarVsCountColumn) {
+  // COUNT(column) skips NULLs; add a row with NULL sales.
+  Row row = {Value::String("Oakland"), Value::String("CA"),
+             Value::String("tents"), Value::Date(1996, 10, 16),
+             Value::Null(TypeId::kInt64)};
+  ASSERT_TRUE(table_->InsertRow(row).ok());
+  QueryResult r =
+      Run("SELECT COUNT(*), COUNT(total_sales) FROM DailySales");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 6);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 5);
+}
+
+TEST_F(ExecutorTest, ParamsInWhere) {
+  QueryResult r = Run("SELECT city FROM DailySales WHERE total_sales > :min",
+                      {{"min", Value::Int64(9000)}});
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, NonGroupedNonAggregatedColumnIsError) {
+  Result<sql::SelectStmt> stmt = sql::ParseSelect(
+      "SELECT city, SUM(total_sales) FROM DailySales GROUP BY state");
+  ASSERT_TRUE(stmt.ok());
+  Result<QueryResult> r = ExecuteSelect(*stmt, *table_, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, UnknownColumnInWhereIsError) {
+  Result<sql::SelectStmt> stmt =
+      sql::ParseSelect("SELECT city FROM DailySales WHERE bogus = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(ExecuteSelect(*stmt, *table_, {}).ok());
+}
+
+TEST_F(ExecutorTest, ToStringRendersAlignedTable) {
+  QueryResult r = Run("SELECT city, SUM(total_sales) FROM DailySales "
+                      "GROUP BY city");
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("city"), std::string::npos);
+  EXPECT_NE(s.find("Berkeley"), std::string::npos);
+  EXPECT_NE(s.find("12000"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, CustomRowSource) {
+  // The executor runs over any RowSource — here, a synthetic one.
+  Schema schema({Column::Int64("x")});
+  RowSource source = [](const std::function<bool(const Row&)>& sink) {
+    for (int i = 1; i <= 4; ++i) {
+      if (!sink({Value::Int64(i)})) return;
+    }
+  };
+  Result<sql::SelectStmt> stmt =
+      sql::ParseSelect("SELECT SUM(x) FROM ignored");
+  ASSERT_TRUE(stmt.ok());
+  Result<QueryResult> r = ExecuteSelect(*stmt, schema, source, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 10);
+}
+
+}  // namespace
+}  // namespace wvm::query

@@ -1,0 +1,98 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm::sql {
+namespace {
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  Result<std::vector<Token>> r = Lex("SELECT city FROM DailySales");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  ASSERT_EQ(t.size(), 5u);  // incl. kEnd
+  EXPECT_TRUE(t[0].IsKeyword("select"));
+  EXPECT_EQ(t[1].text, "city");
+  EXPECT_TRUE(t[2].IsKeyword("FROM"));
+  EXPECT_EQ(t[3].text, "DailySales");
+  EXPECT_EQ(t[4].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  Result<std::vector<Token>> r = Lex("12 3.5 0.25");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].type, TokenType::kInt);
+  EXPECT_EQ(r.value()[0].text, "12");
+  EXPECT_EQ(r.value()[1].type, TokenType::kDouble);
+  EXPECT_EQ(r.value()[1].text, "3.5");
+  EXPECT_EQ(r.value()[2].type, TokenType::kDouble);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  Result<std::vector<Token>> r = Lex("'San Jose' 'O''Neil' ''");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].type, TokenType::kString);
+  EXPECT_EQ(r.value()[0].text, "San Jose");
+  EXPECT_EQ(r.value()[1].text, "O'Neil");
+  EXPECT_EQ(r.value()[2].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, Params) {
+  Result<std::vector<Token>> r = Lex(":sessionVN >= tupleVN");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].type, TokenType::kParam);
+  EXPECT_EQ(r.value()[0].text, "sessionVN");
+  EXPECT_TRUE(r.value()[1].IsSymbol(">="));
+}
+
+TEST(LexerTest, BadParamFails) {
+  EXPECT_FALSE(Lex(": 5").ok());
+  EXPECT_FALSE(Lex(":1abc").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  Result<std::vector<Token>> r = Lex("<> <= >= != < > =");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].IsSymbol("<>"));
+  EXPECT_TRUE(r.value()[1].IsSymbol("<="));
+  EXPECT_TRUE(r.value()[2].IsSymbol(">="));
+  EXPECT_TRUE(r.value()[3].IsSymbol("<>"));  // != normalizes to <>
+  EXPECT_TRUE(r.value()[4].IsSymbol("<"));
+  EXPECT_TRUE(r.value()[5].IsSymbol(">"));
+  EXPECT_TRUE(r.value()[6].IsSymbol("="));
+}
+
+TEST(LexerTest, PunctuationAndArithmetic) {
+  Result<std::vector<Token>> r = Lex("(a, b) * c + d - e / f;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].IsSymbol("("));
+  EXPECT_TRUE(r.value()[2].IsSymbol(","));
+  EXPECT_TRUE(r.value()[4].IsSymbol(")"));
+  EXPECT_TRUE(r.value()[5].IsSymbol("*"));
+}
+
+TEST(LexerTest, RejectsStrayBytes) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("a # b").ok());
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  Result<std::vector<Token>> r = Lex("   \n\t ");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  Result<std::vector<Token>> r = Lex("pre_total_sales _x x_1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].text, "pre_total_sales");
+  EXPECT_EQ(r.value()[1].text, "_x");
+  EXPECT_EQ(r.value()[2].text, "x_1");
+}
+
+}  // namespace
+}  // namespace wvm::sql

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace wvm::sql {
+namespace {
+
+// Round-trips `input` through parse -> print and checks the output.
+void ExpectPrints(const std::string& input, const std::string& expected) {
+  Result<Statement> stmt = Parse(input);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->ToSql(), expected);
+}
+
+TEST(PrinterTest, SimpleSelect) {
+  ExpectPrints("select city , state from DailySales",
+               "SELECT city, state FROM DailySales");
+}
+
+TEST(PrinterTest, SelectStarWithWhere) {
+  ExpectPrints("select * from t where x = 1",
+               "SELECT * FROM t WHERE x = 1");
+}
+
+TEST(PrinterTest, GroupByAndAggregate) {
+  ExpectPrints(
+      "select city, state, sum(total_sales) from DailySales "
+      "group by city, state",
+      "SELECT city, state, SUM(total_sales) FROM DailySales "
+      "GROUP BY city, state");
+}
+
+TEST(PrinterTest, Alias) {
+  ExpectPrints("select sum(x) as total from t",
+               "SELECT SUM(x) AS total FROM t");
+}
+
+TEST(PrinterTest, CaseExpression) {
+  ExpectPrints(
+      "select sum(case when :sessionVN >= tupleVN then total_sales "
+      "else pre_total_sales end) from DailySales",
+      "SELECT SUM(CASE WHEN :sessionVN >= tupleVN THEN total_sales "
+      "ELSE pre_total_sales END) FROM DailySales");
+}
+
+// The paper prints mixed AND/OR with explicit parentheses (Example 4.1);
+// the printer preserves that style.
+TEST(PrinterTest, MixedAndOrParenthesized) {
+  ExpectPrints(
+      "select a from t where (:v >= tupleVN and operation <> 'delete') "
+      "or (:v < tupleVN and operation <> 'insert')",
+      "SELECT a FROM t WHERE (:v >= tupleVN AND operation <> 'delete') "
+      "OR (:v < tupleVN AND operation <> 'insert')");
+}
+
+TEST(PrinterTest, ArithmeticPrecedenceParens) {
+  ExpectPrints("select (a + b) * c from t",
+               "SELECT (a + b) * c FROM t");
+  ExpectPrints("select a + b * c from t", "SELECT a + b * c FROM t");
+  ExpectPrints("select a - (b - c) from t", "SELECT a - (b - c) FROM t");
+}
+
+TEST(PrinterTest, StringEscaping) {
+  ExpectPrints("select a from t where name = 'O''Neil'",
+               "SELECT a FROM t WHERE name = 'O''Neil'");
+}
+
+TEST(PrinterTest, InsertStatement) {
+  ExpectPrints(
+      "insert into DailySales (city, total_sales) values ('San Jose', "
+      "10000), ('Novato', null)",
+      "INSERT INTO DailySales (city, total_sales) VALUES ('San Jose', "
+      "10000), ('Novato', NULL)");
+}
+
+TEST(PrinterTest, UpdateStatement) {
+  ExpectPrints(
+      "update DailySales set total_sales = total_sales + 1000 "
+      "where city = 'San Jose' and date = '10/13/96'",
+      "UPDATE DailySales SET total_sales = total_sales + 1000 "
+      "WHERE city = 'San Jose' AND date = '10/13/96'");
+}
+
+TEST(PrinterTest, DeleteStatement) {
+  ExpectPrints("delete from DailySales where city = 'San Jose'",
+               "DELETE FROM DailySales WHERE city = 'San Jose'");
+}
+
+TEST(PrinterTest, IsNullForms) {
+  ExpectPrints("select a from t where a is null and b is not null",
+               "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL");
+}
+
+TEST(PrinterTest, NotAndUnaryMinus) {
+  ExpectPrints("select a from t where not (a = 1)",
+               "SELECT a FROM t WHERE NOT (a = 1)");
+  ExpectPrints("select -a from t", "SELECT -a FROM t");
+}
+
+TEST(PrinterTest, CountStar) {
+  ExpectPrints("select count(*) from t", "SELECT COUNT(*) FROM t");
+}
+
+TEST(PrinterTest, ParamsPrintWithColon) {
+  ExpectPrints("select a from t where vn = :maintenanceVN",
+               "SELECT a FROM t WHERE vn = :maintenanceVN");
+}
+
+// Printing then re-parsing then re-printing is a fixed point.
+TEST(PrinterTest, PrintParseRoundTripIsStable) {
+  const char* inputs[] = {
+      "SELECT city, state, SUM(CASE WHEN :sessionVN >= tupleVN THEN "
+      "total_sales ELSE pre_total_sales END) FROM DailySales WHERE "
+      "(:sessionVN >= tupleVN AND operation <> 'delete') OR (:sessionVN < "
+      "tupleVN AND operation <> 'insert') GROUP BY city, state",
+      "UPDATE t SET a = a + 1, b = 2 WHERE c <> 3",
+      "INSERT INTO t VALUES (1, 2.5, 'x', NULL)",
+      "DELETE FROM t",
+  };
+  for (const char* sql : inputs) {
+    Result<Statement> first = Parse(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    const std::string printed = first->ToSql();
+    Result<Statement> second = Parse(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(second->ToSql(), printed);
+  }
+}
+
+}  // namespace
+}  // namespace wvm::sql

@@ -1,0 +1,150 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace wvm {
+namespace {
+
+TEST(BufferPoolTest, NewPageAndFetch) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+
+  Result<Page*> p = pool.NewPage();
+  ASSERT_TRUE(p.ok());
+  Page* page = p.value();
+  const PageId pid = page->page_id();
+  std::memset(page->data(), 0x5A, kPageSize);
+  pool.Unpin(page, /*dirty=*/true);
+
+  Result<Page*> again = pool.FetchPage(pid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), page);  // still resident, same frame
+  EXPECT_EQ(again.value()->data()[100], 0x5A);
+  pool.Unpin(again.value(), false);
+
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  DiskManager disk;
+  BufferPool pool(2, &disk);
+
+  // Create 3 pages in a pool of 2, forcing an eviction of the dirty first.
+  Result<Page*> a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  const PageId a_id = a.value()->page_id();
+  std::memset(a.value()->data(), 0x11, kPageSize);
+  pool.Unpin(a.value(), true);
+
+  Result<Page*> b = pool.NewPage();
+  ASSERT_TRUE(b.ok());
+  pool.Unpin(b.value(), false);
+
+  Result<Page*> c = pool.NewPage();
+  ASSERT_TRUE(c.ok());
+  pool.Unpin(c.value(), false);
+
+  EXPECT_GE(pool.stats().evictions, 1u);
+
+  // Page A must come back from disk intact.
+  Result<Page*> a2 = pool.FetchPage(a_id);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2.value()->data()[0], 0x11);
+  EXPECT_EQ(a2.value()->data()[kPageSize - 1], 0x11);
+  pool.Unpin(a2.value(), false);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  DiskManager disk;
+  BufferPool pool(2, &disk);
+
+  Result<Page*> a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  Result<Page*> b = pool.NewPage();
+  ASSERT_TRUE(b.ok());
+
+  // Both frames pinned: a third page cannot be created.
+  Result<Page*> c = pool.NewPage();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+
+  pool.Unpin(a.value(), false);
+  Result<Page*> c2 = pool.NewPage();
+  EXPECT_TRUE(c2.ok());
+  pool.Unpin(c2.value(), false);
+  pool.Unpin(b.value(), false);
+}
+
+TEST(BufferPoolTest, MissCountsTrackDiskReads) {
+  DiskManager disk;
+  BufferPool pool(1, &disk);
+
+  Result<Page*> a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  const PageId a_id = a.value()->page_id();
+  pool.Unpin(a.value(), true);
+
+  Result<Page*> b = pool.NewPage();
+  ASSERT_TRUE(b.ok());
+  const PageId b_id = b.value()->page_id();
+  pool.Unpin(b.value(), true);
+
+  pool.ResetStats();
+  disk.ResetStats();
+
+  // Ping-pong between the two pages with a single frame: every fetch misses.
+  for (int i = 0; i < 5; ++i) {
+    Result<Page*> pa = pool.FetchPage(a_id);
+    ASSERT_TRUE(pa.ok());
+    pool.Unpin(pa.value(), false);
+    Result<Page*> pb = pool.FetchPage(b_id);
+    ASSERT_TRUE(pb.ok());
+    pool.Unpin(pb.value(), false);
+  }
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.fetches, 10u);
+  EXPECT_EQ(stats.misses, 10u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(disk.stats().page_reads, 10u);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  Result<Page*> a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  const PageId pid = a.value()->page_id();
+  std::memset(a.value()->data(), 0x77, kPageSize);
+  pool.Unpin(a.value(), true);
+  pool.FlushAll();
+
+  char buf[kPageSize];
+  disk.ReadPage(pid, buf);
+  EXPECT_EQ(buf[0], 0x77);
+}
+
+TEST(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
+  DiskManager disk;
+  BufferPool pool(1, &disk);
+  PageId pid;
+  {
+    Result<Page*> a = pool.NewPage();
+    ASSERT_TRUE(a.ok());
+    pid = a.value()->page_id();
+    PageGuard guard(&pool, a.value());
+    guard.MarkDirty();
+    // Guard holds the only frame pinned.
+    EXPECT_FALSE(pool.NewPage().ok());
+  }
+  // Guard released its pin; the frame is reusable now.
+  Result<Page*> b = pool.NewPage();
+  EXPECT_TRUE(b.ok());
+  pool.Unpin(b.value(), false);
+  (void)pid;
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,80 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace wvm {
+namespace {
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  DiskManager disk;
+  PageId p0 = disk.AllocatePage();
+  PageId p1 = disk.AllocatePage();
+  EXPECT_EQ(p0, 0);
+  EXPECT_EQ(p1, 1);
+  EXPECT_EQ(disk.num_pages(), 2u);
+
+  char buf[kPageSize];
+  std::memset(buf, 0xAB, kPageSize);
+  disk.WritePage(p1, buf);
+
+  char out[kPageSize];
+  disk.ReadPage(p1, out);
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+
+  // Fresh pages are zeroed.
+  disk.ReadPage(p0, out);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+}
+
+TEST(DiskManagerTest, StatsCountIo) {
+  DiskManager disk;
+  PageId p = disk.AllocatePage();
+  char buf[kPageSize] = {};
+  disk.WritePage(p, buf);
+  disk.WritePage(p, buf);
+  disk.ReadPage(p, buf);
+
+  DiskStats stats = disk.stats();
+  EXPECT_EQ(stats.pages_allocated, 1u);
+  EXPECT_EQ(stats.page_writes, 2u);
+  EXPECT_EQ(stats.page_reads, 1u);
+
+  disk.ResetStats();
+  stats = disk.stats();
+  EXPECT_EQ(stats.page_reads, 0u);
+  EXPECT_EQ(stats.page_writes, 0u);
+  EXPECT_EQ(stats.pages_allocated, 0u);
+}
+
+TEST(DiskManagerTest, ConcurrentAllocationsAreDistinct) {
+  DiskManager disk;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<PageId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&disk, &ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(disk.AllocatePage());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (const auto& v : ids) {
+    for (PageId p : v) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(static_cast<size_t>(p), seen.size());
+      EXPECT_FALSE(seen[p]) << "duplicate page id " << p;
+      seen[p] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,81 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace wvm::txn {
+namespace {
+
+using Mode = LockManager::Mode;
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, 100, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(2, 100, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(3, 100, Mode::kShared).ok());
+  EXPECT_EQ(lm.stats().grants, 3u);
+  EXPECT_EQ(lm.stats().waits, 0u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsTimeout) {
+  LockManager lm(std::chrono::milliseconds(30));
+  ASSERT_TRUE(lm.Lock(1, 100, Mode::kExclusive).ok());
+  Status s = lm.Lock(2, 100, Mode::kExclusive);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  Status r = lm.Lock(2, 100, Mode::kShared);
+  EXPECT_EQ(r.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(lm.stats().timeouts, 2u);
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 5, Mode::kShared).ok());
+  ASSERT_TRUE(lm.Lock(1, 5, Mode::kShared).ok());       // re-entrant
+  ASSERT_TRUE(lm.Lock(1, 5, Mode::kExclusive).ok());    // sole-holder upgrade
+  ASSERT_TRUE(lm.Lock(1, 5, Mode::kShared).ok());       // X covers S
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharer) {
+  LockManager lm(std::chrono::milliseconds(30));
+  ASSERT_TRUE(lm.Lock(1, 5, Mode::kShared).ok());
+  ASSERT_TRUE(lm.Lock(2, 5, Mode::kShared).ok());
+  EXPECT_EQ(lm.Lock(1, 5, Mode::kExclusive).code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(LockManagerTest, UnlockAllWakesWaiters) {
+  LockManager lm(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(lm.Lock(1, 7, Mode::kExclusive).ok());
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status s = lm.Lock(2, 7, Mode::kShared);
+    acquired.store(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lm.UnlockAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(lm.stats().waits, 1u);
+}
+
+TEST(LockManagerTest, UnlockAllReleasesEverything) {
+  LockManager lm(std::chrono::milliseconds(30));
+  ASSERT_TRUE(lm.Lock(1, 1, Mode::kExclusive).ok());
+  ASSERT_TRUE(lm.Lock(1, 2, Mode::kExclusive).ok());
+  lm.UnlockAll(1);
+  EXPECT_TRUE(lm.Lock(2, 1, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Lock(2, 2, Mode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, DistinctResourcesDoNotConflict) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, 1, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Lock(2, 2, Mode::kExclusive).ok());
+}
+
+}  // namespace
+}  // namespace wvm::txn

@@ -1,0 +1,144 @@
+#include "warehouse/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm::warehouse {
+namespace {
+
+// The Figure 2 pattern: maintenance 9am -> 8am next morning, i.e. a
+// one-hour gap between transactions.
+ScheduleConfig Figure2Config() {
+  ScheduleConfig config;
+  config.days = 7;
+  config.maint_start = MakeSimTime(0, 9);
+  config.maint_duration = 23 * kMinutesPerHour;
+  config.arrival_step = 30;
+  config.session_duration = 4 * kMinutesPerHour;
+  return config;
+}
+
+// The Figure 1 pattern: a 6-hour nightly window starting at midnight.
+ScheduleConfig Figure1Config() {
+  ScheduleConfig config;
+  config.days = 7;
+  config.maint_start = MakeSimTime(0, 0);
+  config.maint_duration = 6 * kMinutesPerHour;
+  config.arrival_step = 30;
+  config.session_duration = 2 * kMinutesPerHour;
+  return config;
+}
+
+TEST(ScheduleTest, WindowsFollowDailyPattern) {
+  std::vector<MaintenanceWindow> w = BuildWindows(Figure2Config());
+  ASSERT_EQ(w.size(), 7u);
+  EXPECT_EQ(w[0].start, MakeSimTime(0, 9));
+  EXPECT_EQ(w[0].commit, MakeSimTime(1, 8));
+  EXPECT_EQ(w[1].start, MakeSimTime(1, 9));
+}
+
+TEST(ScheduleTest, OfflineLosesAvailabilityDuringWindows) {
+  PolicyResult offline = SimulateOffline(Figure1Config());
+  EXPECT_GT(offline.delayed, 0u);
+  // A 6h window out of 24h blocks roughly a quarter of arrivals.
+  EXPECT_NEAR(offline.availability, 0.75, 0.05);
+  EXPECT_GT(offline.total_wait, 0);
+}
+
+TEST(ScheduleTest, VnlNeverBlocks) {
+  PolicyResult vnl = SimulateVnl(Figure2Config(), 2);
+  EXPECT_EQ(vnl.delayed, 0u);
+  EXPECT_DOUBLE_EQ(vnl.availability, 1.0);
+  EXPECT_EQ(vnl.sessions, vnl.completed + vnl.expired);
+}
+
+// Figure 2 narrative: a session starting after 8am is safe until 9am the
+// *following* morning; only sessions whose window straddles the next
+// transaction's begin can expire. With 4-hour sessions and a 1-hour gap,
+// sessions starting between ~5am and 8am (before the commit) survive on
+// the previous version, but those that cross 9am one version behind die.
+TEST(ScheduleTest, TwoVnlExpirationsMatchHandAnalysis) {
+  ScheduleConfig config = Figure2Config();
+  PolicyResult vnl = SimulateVnl(config, 2);
+  // A session at VN v expires when txn v+2 begins. With 4h sessions and
+  // the 9am/8am pattern, exactly the arrivals in (5am, 8am) on days with
+  // a full next cycle expire: their session crosses the 9am start while
+  // they are pinned one version back.
+  // 5:30,6:00,...,7:30 -> 6 arrivals per boundary (8:00 survives: it is
+  // at the new version).
+  EXPECT_GT(vnl.expired, 0u);
+  EXPECT_LT(vnl.expired, vnl.sessions / 5);  // rare, as the paper argues
+}
+
+TEST(ScheduleTest, LargerNEliminatesExpirations) {
+  ScheduleConfig config = Figure2Config();
+  PolicyResult n2 = SimulateVnl(config, 2);
+  PolicyResult n3 = SimulateVnl(config, 3);
+  EXPECT_LE(n3.expired, n2.expired);
+  EXPECT_EQ(n3.expired, 0u);  // 3VNL guarantee covers 4h sessions here
+}
+
+TEST(ScheduleTest, Mv2plNeverExpiresNorBlocks) {
+  PolicyResult mv = SimulateMv2pl(Figure2Config());
+  EXPECT_EQ(mv.expired, 0u);
+  EXPECT_EQ(mv.delayed, 0u);
+  EXPECT_EQ(mv.completed, mv.sessions);
+}
+
+// §2.1's commit-when-quiescent policy: sessions never expire, but the
+// maintenance commit pays for it.
+TEST(ScheduleTest, QuiescentPolicyTradesCommitLatencyForNoExpirations) {
+  // Sparse sessions (gaps exist): commits are delayed but eventually go.
+  ScheduleConfig sparse = Figure2Config();
+  sparse.arrival_step = 6 * kMinutesPerHour;
+  sparse.session_duration = 4 * kMinutesPerHour;
+  PolicyResult r = SimulateVnlQuiescent(sparse);
+  EXPECT_EQ(r.expired, 0u);
+  EXPECT_EQ(r.completed, r.sessions);
+  EXPECT_GT(r.maint_delayed, 0u);
+  // Delays cascade; at most the final window can slip past the horizon.
+  EXPECT_LE(r.maint_starved, 1u);
+
+  // Dense sessions (always one active): the commit starves — the
+  // disadvantage the paper names.
+  ScheduleConfig dense = Figure2Config();  // 30-min arrivals, 4h sessions
+  PolicyResult starved = SimulateVnlQuiescent(dense);
+  EXPECT_EQ(starved.expired, 0u);
+  EXPECT_GT(starved.maint_starved, 0u);
+}
+
+// §5 formula: (n-1)(i+m) - m.
+TEST(ScheduleTest, GuaranteeFormulaMatchesPaper) {
+  const SimTime i = 60, m = 23 * 60;
+  EXPECT_EQ(MaxGuaranteedSessionLength(2, i, m), i);
+  EXPECT_EQ(MaxGuaranteedSessionLength(3, i, m), 2 * (i + m) - m);
+  EXPECT_EQ(MaxGuaranteedSessionLength(4, i, m), 3 * (i + m) - m);
+}
+
+// Property: sessions no longer than the §5 guarantee never expire, for a
+// sweep of n and schedule shapes.
+TEST(ScheduleTest, GuaranteeIsRespectedBySimulation) {
+  for (int n = 2; n <= 5; ++n) {
+    for (SimTime duration : {6 * 60, 12 * 60, 23 * 60}) {
+      ScheduleConfig config;
+      config.days = 10;
+      config.maint_start = MakeSimTime(0, 9);
+      config.maint_duration = duration;
+      config.arrival_step = 15;
+      const SimTime gap = kMinutesPerDay - duration;
+      const SimTime guarantee = MaxGuaranteedSessionLength(n, gap, duration);
+      if (guarantee <= 0) continue;
+      config.session_duration = guarantee;
+      PolicyResult r = SimulateVnl(config, n);
+      EXPECT_EQ(r.expired, 0u)
+          << "n=" << n << " duration=" << duration
+          << " guarantee=" << guarantee;
+      // Just past the guarantee, some session must eventually expire.
+      config.session_duration = guarantee + config.maint_duration + gap;
+      PolicyResult over = SimulateVnl(config, n);
+      EXPECT_GT(over.expired, 0u) << "n=" << n << " duration=" << duration;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wvm::warehouse

@@ -1,0 +1,138 @@
+// End-to-end pipeline: DailySales workload -> summary-view maintenance ->
+// engines -> reader sessions, including the paper's Example 2.1 scenario
+// (an analyst drill-down staying consistent while maintenance runs).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/mv2pl_engine.h"
+#include "baselines/offline_engine.h"
+#include "baselines/vnl_adapter.h"
+#include "common/logging.h"
+#include "sql/parser.h"
+#include "warehouse/workload.h"
+
+namespace wvm::warehouse {
+namespace {
+
+std::map<std::string, int64_t> ByCity(const std::vector<Row>& rows,
+                                      size_t total_col) {
+  std::map<std::string, int64_t> out;
+  for (const Row& row : rows) {
+    out[row[0].AsString()] += row[total_col].AsInt64();
+  }
+  return out;
+}
+
+TEST(WarehouseIntegrationTest, AllEnginesConvergeOnTheSameView) {
+  DailySalesConfig config;
+  config.events_per_batch = 800;
+  config.num_cities = 10;
+  config.num_product_lines = 4;
+  DailySalesWorkload workload(config);
+  const SummaryView& view = workload.view();
+
+  DiskManager disk;
+  BufferPool pool(8192, &disk);
+  std::vector<std::unique_ptr<baselines::WarehouseEngine>> engines;
+  {
+    auto vnl = baselines::VnlAdapter::Create(&pool, view.view_schema(), 2);
+    ASSERT_TRUE(vnl.ok());
+    engines.push_back(std::move(vnl).value());
+  }
+  engines.push_back(std::make_unique<baselines::Mv2plEngine>(
+      &pool, view.view_schema()));
+  engines.push_back(std::make_unique<baselines::OfflineEngine>(
+      &pool, view.view_schema()));
+
+  // Re-generate the identical batches for each engine (same seed).
+  std::vector<DeltaBatch> batches;
+  for (int day = 1; day <= 4; ++day) batches.push_back(workload.MakeBatch(day));
+
+  std::vector<std::map<std::string, int64_t>> states;
+  for (auto& engine : engines) {
+    for (const DeltaBatch& batch : batches) {
+      ASSERT_TRUE(engine->BeginMaintenance().ok()) << engine->name();
+      Result<SummaryView::ApplyStats> stats =
+          view.ApplyDelta(engine.get(), batch);
+      ASSERT_TRUE(stats.ok()) << engine->name() << ": "
+                              << stats.status().ToString();
+      ASSERT_TRUE(engine->CommitMaintenance().ok());
+    }
+    Result<uint64_t> reader = engine->OpenReader();
+    ASSERT_TRUE(reader.ok());
+    Result<std::vector<Row>> rows = engine->ReadAll(*reader);
+    ASSERT_TRUE(rows.ok());
+    states.push_back(ByCity(*rows, view.total_col()));
+    ASSERT_TRUE(engine->CloseReader(*reader).ok());
+  }
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], states[1]);
+  EXPECT_EQ(states[0], states[2]);
+  EXPECT_FALSE(states[0].empty());
+}
+
+// Example 2.1 end to end: the analyst's city total and the subsequent
+// drill-down must agree even though a maintenance transaction updates the
+// view between the two queries.
+TEST(WarehouseIntegrationTest, AnalystDrillDownStaysConsistent) {
+  DailySalesConfig config;
+  config.events_per_batch = 600;
+  config.num_cities = 8;
+  config.num_product_lines = 5;
+  DailySalesWorkload workload(config);
+  const SummaryView& view = workload.view();
+
+  DiskManager disk;
+  BufferPool pool(4096, &disk);
+  auto adapter_or =
+      baselines::VnlAdapter::Create(&pool, view.view_schema(), 2);
+  ASSERT_TRUE(adapter_or.ok());
+  baselines::VnlAdapter& adapter = **adapter_or;
+  core::VnlEngine* engine = adapter.engine();
+  core::VnlTable* table = adapter.table();
+
+  // Day 1 load.
+  ASSERT_TRUE(adapter.BeginMaintenance().ok());
+  ASSERT_TRUE(view.ApplyDelta(&adapter, workload.MakeBatch(1)).ok());
+  ASSERT_TRUE(adapter.CommitMaintenance().ok());
+
+  // Analyst opens a session and gets the San Jose total.
+  core::ReaderSession session = engine->OpenSession();
+  Result<sql::SelectStmt> q1 = sql::ParseSelect(
+      "SELECT city, state, SUM(total_sales) FROM DailySales "
+      "WHERE city = 'San Jose' GROUP BY city, state");
+  ASSERT_TRUE(q1.ok());
+  Result<query::QueryResult> totals = table->SnapshotSelect(session, *q1);
+  ASSERT_TRUE(totals.ok());
+  ASSERT_EQ(totals->rows.size(), 1u);
+  const int64_t city_total = totals->rows[0][2].AsInt64();
+
+  // Meanwhile, day 2's maintenance transaction runs and commits.
+  ASSERT_TRUE(adapter.BeginMaintenance().ok());
+  ASSERT_TRUE(view.ApplyDelta(&adapter, workload.MakeBatch(2)).ok());
+  ASSERT_TRUE(adapter.CommitMaintenance().ok());
+
+  // Drill-down within the same session: per-product-line breakdown.
+  Result<sql::SelectStmt> q2 = sql::ParseSelect(
+      "SELECT product_line, SUM(total_sales) FROM DailySales "
+      "WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line");
+  ASSERT_TRUE(q2.ok());
+  Result<query::QueryResult> drill = table->SnapshotSelect(session, *q2);
+  ASSERT_TRUE(drill.ok());
+  int64_t drill_total = 0;
+  for (const Row& row : drill->rows) drill_total += row[1].AsInt64();
+
+  // The property the paper's Example 2.1 demands.
+  EXPECT_EQ(drill_total, city_total);
+
+  // A fresh session sees different (newer) numbers.
+  core::ReaderSession fresh = engine->OpenSession();
+  Result<query::QueryResult> newer = table->SnapshotSelect(fresh, *q1);
+  ASSERT_TRUE(newer.ok());
+  ASSERT_EQ(newer->rows.size(), 1u);
+  EXPECT_NE(newer->rows[0][2].AsInt64(), city_total);
+}
+
+}  // namespace
+}  // namespace wvm::warehouse

@@ -1,0 +1,83 @@
+#include "warehouse/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace wvm::warehouse {
+namespace {
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  DailySalesConfig config;
+  config.events_per_batch = 200;
+  DailySalesWorkload a(config), b(config);
+  for (int day = 1; day <= 3; ++day) {
+    DeltaBatch ba = a.MakeBatch(day);
+    DeltaBatch bb = b.MakeBatch(day);
+    ASSERT_EQ(ba.size(), bb.size());
+    for (size_t i = 0; i < ba.size(); ++i) {
+      EXPECT_EQ(ba[i].amount, bb[i].amount);
+      EXPECT_EQ(ba[i].retraction, bb[i].retraction);
+      EXPECT_TRUE(RowEq()(ba[i].dims, bb[i].dims));
+    }
+  }
+}
+
+TEST(WorkloadTest, BatchSizeAndShape) {
+  DailySalesConfig config;
+  config.events_per_batch = 500;
+  DailySalesWorkload w(config);
+  DeltaBatch batch = w.MakeBatch(1);
+  EXPECT_EQ(batch.size(), 500u);
+  for (const BaseEvent& e : batch) {
+    ASSERT_EQ(e.dims.size(), 4u);
+    EXPECT_GT(e.amount, 0);
+    EXPECT_LE(e.amount, config.max_amount);
+  }
+}
+
+TEST(WorkloadTest, RetractionsOnlyReferencePriorEvents) {
+  DailySalesConfig config;
+  config.events_per_batch = 300;
+  config.retraction_prob = 0.3;
+  DailySalesWorkload w(config);
+
+  std::unordered_map<Row, int64_t, RowHash, RowEq> sums;
+  for (int day = 1; day <= 5; ++day) {
+    for (const BaseEvent& e : w.MakeBatch(day)) {
+      sums[e.dims] += e.retraction ? -e.amount : e.amount;
+      // A retraction can never drive a group's total negative, because it
+      // always cancels a concrete earlier sale.
+      EXPECT_GE(sums[e.dims], 0) << "day " << day;
+    }
+  }
+}
+
+TEST(WorkloadTest, SkewConcentratesOnPopularGroups) {
+  DailySalesConfig config;
+  config.events_per_batch = 5000;
+  config.zipf_theta = 0.9;
+  config.retraction_prob = 0.0;
+  DailySalesWorkload w(config);
+  std::unordered_map<Row, int, RowHash, RowEq> counts;
+  for (const BaseEvent& e : w.MakeBatch(1)) counts[e.dims]++;
+  int max_count = 0;
+  for (const auto& [dims, c] : counts) max_count = std::max(max_count, c);
+  const double mean =
+      5000.0 / static_cast<double>(w.groups_per_day());
+  EXPECT_GT(max_count, mean * 3);  // heavy hitters exist
+}
+
+TEST(WorkloadTest, ViewSchemaIsDailySales) {
+  DailySalesWorkload w;
+  const Schema& s = w.view().view_schema();
+  EXPECT_TRUE(s.Contains("city"));
+  EXPECT_TRUE(s.Contains("state"));
+  EXPECT_TRUE(s.Contains("product_line"));
+  EXPECT_TRUE(s.Contains("date"));
+  EXPECT_TRUE(s.Contains("total_sales"));
+  EXPECT_EQ(s.key_indices().size(), 4u);
+}
+
+}  // namespace
+}  // namespace wvm::warehouse
