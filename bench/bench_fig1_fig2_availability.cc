@@ -4,6 +4,7 @@
 // bench quantifies them on the same schedule geometry.)
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/strings.h"
 #include "warehouse/schedule.h"
 
@@ -27,7 +28,15 @@ void PrintTimeline(const ScheduleConfig& config, const char* title) {
   }
 }
 
-void RunScenario(const char* title, const ScheduleConfig& config) {
+void EmitPolicy(const std::string& scenario, const PolicyResult& r) {
+  bench::Emit(scenario + "/" + r.policy + "/availability", r.availability,
+              "fraction");
+  bench::Emit(scenario + "/" + r.policy + "/expired",
+              static_cast<double>(r.expired), "sessions");
+}
+
+void RunScenario(const char* title, const char* tag,
+                 const ScheduleConfig& config) {
   std::printf("\n=== %s ===\n", title);
   std::printf("maintenance: starts %s, runs %lld h; sessions: %lld h long, "
               "arriving every %lld min\n",
@@ -38,12 +47,20 @@ void RunScenario(const char* title, const ScheduleConfig& config) {
                                      kMinutesPerHour),
               static_cast<long long>(config.arrival_step));
   PrintTimeline(config, "timeline:");
-  std::printf("\n%s\n", SimulateOffline(config).ToString().c_str());
+  const PolicyResult offline = SimulateOffline(config);
+  std::printf("\n%s\n", offline.ToString().c_str());
+  EmitPolicy(tag, offline);
   for (int n : {2, 3, 4}) {
-    std::printf("%s\n", SimulateVnl(config, n).ToString().c_str());
+    const PolicyResult vnl = SimulateVnl(config, n);
+    std::printf("%s\n", vnl.ToString().c_str());
+    EmitPolicy(tag, vnl);
   }
-  std::printf("%s\n", SimulateMv2pl(config).ToString().c_str());
-  std::printf("%s\n", SimulateVnlQuiescent(config).ToString().c_str());
+  const PolicyResult mv2pl = SimulateMv2pl(config);
+  std::printf("%s\n", mv2pl.ToString().c_str());
+  EmitPolicy(tag, mv2pl);
+  const PolicyResult quiescent = SimulateVnlQuiescent(config);
+  std::printf("%s\n", quiescent.ToString().c_str());
+  EmitPolicy(tag, quiescent);
 }
 
 void Run() {
@@ -56,7 +73,7 @@ void Run() {
   nightly.arrival_step = 20;
   nightly.session_duration = 2 * kMinutesPerHour;
   RunScenario("Figure 1 scenario: nightly maintenance, 2h sessions",
-              nightly);
+              "fig1", nightly);
 
   // Figure 2: 2VNL's extreme pattern — 23-hour maintenance transactions
   // with 1-hour gaps (9am -> 8am), warehouse open 24h.
@@ -68,7 +85,7 @@ void Run() {
   continuous.session_duration = 4 * kMinutesPerHour;
   RunScenario(
       "Figure 2 scenario: 9am->8am maintenance transactions, 4h sessions",
-      continuous);
+      "fig2", continuous);
 
   // The offline policy simply cannot run the Figure 2 pattern: a 23-hour
   // window would leave a 1-hour business day. Show the collapse.
@@ -76,8 +93,12 @@ void Run() {
   impossible.session_duration = 30;
   std::printf("\n=== Offline under the Figure 2 maintenance load "
               "(30-min sessions) ===\n");
-  std::printf("%s\n", SimulateOffline(impossible).ToString().c_str());
-  std::printf("%s\n", SimulateVnl(impossible, 2).ToString().c_str());
+  const PolicyResult off_collapse = SimulateOffline(impossible);
+  std::printf("%s\n", off_collapse.ToString().c_str());
+  EmitPolicy("fig2_30min", off_collapse);
+  const PolicyResult vnl_collapse = SimulateVnl(impossible, 2);
+  std::printf("%s\n", vnl_collapse.ToString().c_str());
+  EmitPolicy("fig2_30min", vnl_collapse);
   std::printf(
       "\nTakeaway (matches the paper's §1-§2 motivation): the offline\n"
       "policy loses availability proportional to the maintenance window,\n"
@@ -91,5 +112,5 @@ void Run() {
 
 int main() {
   wvm::warehouse::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_fig1_fig2_availability") ? 0 : 1;
 }

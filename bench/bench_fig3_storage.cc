@@ -6,6 +6,7 @@
 
 #include "baselines/mv2pl_engine.h"
 #include "baselines/vnl_adapter.h"
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/versioned_schema.h"
@@ -46,6 +47,10 @@ void Figure3Exact() {
       "(paper: 42 -> 51, ~+20%%)\n\n",
       before, after,
       100.0 * (static_cast<double>(after) / before - 1.0));
+  bench::Emit("fig3/bytes_before", static_cast<double>(before), "bytes");
+  bench::Emit("fig3/bytes_after", static_cast<double>(after), "bytes");
+  bench::Emit("fig3/overhead_pct",
+              100.0 * (static_cast<double>(after) / before - 1.0), "%");
 }
 
 void OverheadVsUpdatableFraction() {
@@ -116,6 +121,12 @@ void MeasuredEngineFootprints() {
                 static_cast<unsigned long long>(stats.main_pages),
                 static_cast<unsigned long long>(stats.aux_pages),
                 stats.main_tuple_bytes);
+    bench::Emit(std::string(name) + "/main_pages",
+                static_cast<double>(stats.main_pages), "pages");
+    bench::Emit(std::string(name) + "/aux_pages",
+                static_cast<double>(stats.aux_pages), "pages");
+    bench::Emit(std::string(name) + "/main_tuple_bytes",
+                static_cast<double>(stats.main_tuple_bytes), "bytes");
   }
   std::printf(
       "\nShape check (§6): 2VNL stores both versions in the main tuple "
@@ -131,5 +142,5 @@ int main() {
   wvm::Figure3Exact();
   wvm::OverheadVsUpdatableFraction();
   wvm::MeasuredEngineFootprints();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_fig3_storage") ? 0 : 1;
 }

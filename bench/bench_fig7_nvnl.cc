@@ -3,6 +3,7 @@
 // per-sessionVN visibility table the example walks through.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "core/vnl_engine.h"
 
@@ -83,8 +84,12 @@ void Run() {
                 slot + 1, t[vs.PreIndex(0, slot)].ToString().c_str());
   }
 
+  wvm::bench::Emit("fig7/populated_slots",
+                   static_cast<double>(vs.PopulatedSlots(t)), "slots");
+
   std::printf("\n=== Example 5.1: what each sessionVN sees ===\n");
   std::printf("sessionVN  result\n");
+  size_t visible = 0, ignored = 0, expired = 0;
   for (Vn vn = 7; vn >= 1; --vn) {
     ReaderSession session;
     session.session_vn = vn;
@@ -93,17 +98,26 @@ void Run() {
       case ReadOutcome::kRow:
         std::printf("%9lld  total_sales = %d\n",
                     static_cast<long long>(vn), out[4].AsInt32());
+        ++visible;
         break;
       case ReadOutcome::kIgnore:
         std::printf("%9lld  tuple ignored (not visible)\n",
                     static_cast<long long>(vn));
+        ++ignored;
         break;
       case ReadOutcome::kExpired:
         std::printf("%9lld  SESSION EXPIRED\n",
                     static_cast<long long>(vn));
+        ++expired;
         break;
     }
   }
+  wvm::bench::Emit("example5_1/visible_sessions",
+                   static_cast<double>(visible), "sessions");
+  wvm::bench::Emit("example5_1/ignored_sessions",
+                   static_cast<double>(ignored), "sessions");
+  wvm::bench::Emit("example5_1/expired_sessions",
+                   static_cast<double>(expired), "sessions");
   std::printf(
       "\n(paper: sessionVN >= 6 ignores the deleted tuple; 5 reads "
       "10,200;\n 3-4 read 10,000; 2 ignores it; < 2 has expired.)\n");
@@ -114,5 +128,5 @@ void Run() {
 
 int main() {
   wvm::core::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_fig7_nvnl") ? 0 : 1;
 }

@@ -1,0 +1,113 @@
+#ifndef OPENWVM_BENCH_BENCH_JSON_H_
+#define OPENWVM_BENCH_BENCH_JSON_H_
+
+// Machine-readable benchmark output. Every bench binary — whether it uses
+// google-benchmark or a custom printf-style main — records {name, value,
+// unit} metrics and writes them to BENCH_<name>.json in the working
+// directory, so CI can diff runs without scraping console output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wvm::bench {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+inline std::vector<Metric>& Metrics() {
+  static std::vector<Metric>* metrics = new std::vector<Metric>();
+  return *metrics;
+}
+
+// Records one metric for the JSON report (console output is unaffected).
+inline void Emit(const std::string& name, double value,
+                 const std::string& unit) {
+  Metrics().push_back({name, value, unit});
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Writes BENCH_<bench_name>.json: a flat array of metric objects.
+inline bool WriteBenchJson(const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::vector<Metric>& metrics = Metrics();
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"value\": %.17g, "
+                 "\"unit\": \"%s\"}%s\n",
+                 JsonEscape(metrics[i].name).c_str(), metrics[i].value,
+                 JsonEscape(metrics[i].unit).c_str(),
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics.size());
+  return true;
+}
+
+// Console reporter that additionally records every successful run: its
+// adjusted real time plus every user counter (items_per_second included).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Emit(run.benchmark_name() + "/real_time", run.GetAdjustedRealTime(),
+           benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters) {
+        Emit(run.benchmark_name() + "/" + counter_name, counter.value,
+             counter_name == "items_per_second" ? "items/s" : "count");
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace wvm::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() that also writes
+// BENCH_<name>.json after the run.
+#define WVM_BENCH_JSON_MAIN(name)                                       \
+  int main(int argc, char** argv) {                                     \
+    benchmark::Initialize(&argc, argv);                                 \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    wvm::bench::JsonCollectingReporter reporter;                        \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                       \
+    benchmark::Shutdown();                                              \
+    return wvm::bench::WriteBenchJson(#name) ? 0 : 1;                   \
+  }
+
+#endif  // OPENWVM_BENCH_BENCH_JSON_H_

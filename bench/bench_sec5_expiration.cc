@@ -4,6 +4,7 @@
 // on the Figure 2 schedule (i = 1h gap, m = 23h maintenance).
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/strings.h"
 #include "warehouse/schedule.h"
 
@@ -34,9 +35,12 @@ void Run() {
     std::printf("%10lldh   ", static_cast<long long>(hours));
     for (int n = 2; n <= 5; ++n) {
       PolicyResult r = SimulateVnl(config, n);
-      std::printf("%6.2f%%    ",
-                  100.0 * static_cast<double>(r.expired) /
-                      static_cast<double>(r.sessions));
+      const double pct = 100.0 * static_cast<double>(r.expired) /
+                         static_cast<double>(r.sessions);
+      std::printf("%6.2f%%    ", pct);
+      bench::Emit(StrPrintf("expired_pct/session_%lldh/n%d",
+                            static_cast<long long>(hours), n),
+                  pct, "%");
     }
     std::printf("\n");
   }
@@ -56,6 +60,12 @@ void Run() {
                 static_cast<long long>(guarantee / 60),
                 static_cast<long long>(guarantee % 60), r_at.expired,
                 r_at.sessions, r_past.expired, r_past.sessions);
+    bench::Emit(StrPrintf("guarantee/n%d/minutes", n),
+                static_cast<double>(guarantee), "min");
+    bench::Emit(StrPrintf("guarantee/n%d/expired_at_guarantee", n),
+                static_cast<double>(r_at.expired), "sessions");
+    bench::Emit(StrPrintf("guarantee/n%d/expired_past_guarantee", n),
+                static_cast<double>(r_past.expired), "sessions");
   }
   std::printf(
       "\nShape check: zero expirations at the guarantee for every n, "
@@ -69,5 +79,5 @@ void Run() {
 
 int main() {
   wvm::warehouse::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_sec5_expiration") ? 0 : 1;
 }

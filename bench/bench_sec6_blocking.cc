@@ -13,6 +13,7 @@
 #include "baselines/s2pl_engine.h"
 #include "baselines/two_v2pl_engine.h"
 #include "baselines/vnl_adapter.h"
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -157,6 +158,26 @@ void RunEngine(const std::string& name,
           ? 0.0
           : stats.commit_wait_us.load() / 1000.0 /
                 static_cast<double>(stats.maint_txns.load()));
+  bench::Emit(name + "/sessions", sessions, "sessions");
+  bench::Emit(name + "/reads", static_cast<double>(stats.reads.load()),
+              "reads");
+  bench::Emit(name + "/lock_failures",
+              static_cast<double>(stats.reader_lock_failures.load()),
+              "failures");
+  bench::Emit(name + "/expirations",
+              static_cast<double>(stats.reader_expirations.load()),
+              "sessions");
+  bench::Emit(name + "/mean_first_read_wait_ms",
+              sessions == 0 ? 0.0
+                            : stats.reader_wait_us.load() / 1000.0 /
+                                  sessions,
+              "ms");
+  bench::Emit(name + "/mean_commit_ms",
+              stats.maint_txns.load() == 0
+                  ? 0.0
+                  : stats.commit_wait_us.load() / 1000.0 /
+                        static_cast<double>(stats.maint_txns.load()),
+              "ms");
 }
 
 void Run() {
@@ -210,5 +231,5 @@ void Run() {
 
 int main() {
   wvm::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_sec6_blocking") ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "baselines/mv2pl_engine.h"
 #include "baselines/offline_engine.h"
 #include "baselines/vnl_adapter.h"
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -134,6 +135,19 @@ void RunEngine(const std::string& name) {
       static_cast<unsigned long long>(old.fetches),
       static_cast<unsigned long long>(old.misses),
       static_cast<unsigned long long>(chases));
+  bench::Emit(name + "/main_tuple_bytes",
+              static_cast<double>(storage.main_tuple_bytes), "bytes");
+  bench::Emit(name + "/main_pages",
+              static_cast<double>(storage.main_pages), "pages");
+  bench::Emit(name + "/aux_pages",
+              static_cast<double>(storage.aux_pages), "pages");
+  bench::Emit(name + "/maint_misses",
+              static_cast<double>(maint.misses), "pages");
+  bench::Emit(name + "/fresh_scan_misses",
+              static_cast<double>(fresh.misses), "pages");
+  bench::Emit(name + "/old_scan_misses",
+              static_cast<double>(old.misses), "pages");
+  bench::Emit(name + "/pool_chases", static_cast<double>(chases), "reads");
 
   if (versioned) WVM_CHECK(engine->CloseReader(*old_reader).ok());
   WVM_CHECK(engine->CloseReader(*fresh_reader).ok());
@@ -161,5 +175,5 @@ void Run() {
 
 int main() {
   wvm::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_sec6_io") ? 0 : 1;
 }

@@ -6,7 +6,9 @@
 
 #include "baselines/mv2pl_engine.h"
 #include "baselines/vnl_adapter.h"
+#include "bench/bench_json.h"
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace wvm {
 namespace {
@@ -51,7 +53,8 @@ void VnlGc(double delete_fraction, bool pinned_session) {
 
   const uint64_t pages_before = adapter.StorageStats().main_pages;
   const auto t0 = std::chrono::steady_clock::now();
-  core::VnlEngine::GcStats stats = adapter.engine()->CollectGarbage();
+  core::VnlEngine::GcStats stats =
+      adapter.engine()->CollectGarbage().value();
   const double ms = MsSince(t0);
 
   std::printf(
@@ -60,6 +63,12 @@ void VnlGc(double delete_fraction, bool pinned_session) {
       delete_fraction * 100.0, pinned_session ? "yes" : "no",
       stats.tuples_reclaimed, ms,
       static_cast<unsigned long long>(pages_before));
+  const std::string tag =
+      StrPrintf("2vnl/deleted_%.0f%%/pinned_%s", delete_fraction * 100.0,
+                pinned_session ? "yes" : "no");
+  bench::Emit(tag + "/reclaimed",
+              static_cast<double>(stats.tuples_reclaimed), "tuples");
+  bench::Emit(tag + "/time_ms", ms, "ms");
   if (pinned_session) WVM_CHECK(adapter.CloseReader(*pinned).ok());
 }
 
@@ -94,6 +103,10 @@ void Mv2plGc(double update_fraction, int rounds) {
       "reclaimed=%6zu  time=%7.2fms\n",
       update_fraction * 100.0, rounds,
       static_cast<unsigned long long>(pool_before), reclaimed, ms);
+  const std::string tag =
+      StrPrintf("mv2pl/updated_%.0f%%_x%d", update_fraction * 100.0, rounds);
+  bench::Emit(tag + "/reclaimed", static_cast<double>(reclaimed), "records");
+  bench::Emit(tag + "/time_ms", ms, "ms");
 }
 
 void Run() {
@@ -115,5 +128,5 @@ void Run() {
 
 int main() {
   wvm::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_sec7_gc") ? 0 : 1;
 }

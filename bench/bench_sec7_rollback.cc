@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "baselines/vnl_adapter.h"
+#include "bench/bench_json.h"
 #include "catalog/table.h"
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace wvm {
 namespace {
@@ -131,6 +133,10 @@ void Run() {
     UndoLogResult undo = UndoLogAbort(txn_size);
     std::printf("%-10s %-10d %12.2f %12.2f %s\n", "undo-log", txn_size,
                 undo.update_ms, undo.abort_ms, "n/a (blocking scheme)");
+    bench::Emit(StrPrintf("undo-log/txn_%d/forward_ms", txn_size),
+                undo.update_ms, "ms");
+    bench::Emit(StrPrintf("undo-log/txn_%d/abort_ms", txn_size),
+                undo.abort_ms, "ms");
     for (int n : {2, 3}) {
       VnlResult vnl = VnlAbort(n, txn_size);
       std::printf("%-10s %-10d %12.2f %12.2f %s\n",
@@ -139,6 +145,13 @@ void Run() {
                   vnl.old_session_survived ? "survives (lossless revert)"
                                            : "expired (2VNL revert is "
                                              "lossy one version back)");
+      bench::Emit(StrPrintf("%dvnl/txn_%d/forward_ms", n, txn_size),
+                  vnl.update_ms, "ms");
+      bench::Emit(StrPrintf("%dvnl/txn_%d/abort_ms", n, txn_size),
+                  vnl.abort_ms, "ms");
+      bench::Emit(StrPrintf("%dvnl/txn_%d/old_session_survived", n,
+                            txn_size),
+                  vnl.old_session_survived ? 1.0 : 0.0, "bool");
     }
   }
   std::printf(
@@ -154,5 +167,5 @@ void Run() {
 
 int main() {
   wvm::Run();
-  return 0;
+  return wvm::bench::WriteBenchJson("bench_sec7_rollback") ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/mv2pl_engine.h"
+#include "bench/bench_json.h"
 #include "baselines/offline_engine.h"
 #include "baselines/vnl_adapter.h"
 #include "common/logging.h"
@@ -186,4 +187,4 @@ BENCHMARK(BM_VnlDeleteThenReinsert);
 }  // namespace
 }  // namespace wvm
 
-BENCHMARK_MAIN();
+WVM_BENCH_JSON_MAIN(bench_tables234_maintenance)

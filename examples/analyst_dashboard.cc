@@ -121,7 +121,8 @@ int main() {
               "state, with no locks and no blocking.\n");
 
   // §7 housekeeping: reclaim tuples deleted by the week's maintenance.
-  core::VnlEngine::GcStats gc = warehouse_db.engine()->CollectGarbage();
+  core::VnlEngine::GcStats gc =
+      warehouse_db.engine()->CollectGarbage().value();
   std::printf("Garbage collection reclaimed %zu logically deleted "
               "tuples.\n", gc.tuples_reclaimed);
   return 0;

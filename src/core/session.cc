@@ -20,8 +20,15 @@ ReaderSession SessionManager::Open() {
 }
 
 void SessionManager::Close(const ReaderSession& session) {
-  std::lock_guard lock(mu_);
-  active_.erase(session.id);
+  bool quiescent = false;
+  {
+    std::lock_guard lock(mu_);
+    active_.erase(session.id);
+    quiescent = active_.empty();
+  }
+  // Wake commit-when-quiescent waiters only on the last close; notify
+  // outside the lock so a woken waiter does not immediately block on mu_.
+  if (quiescent) quiescent_cv_.notify_all();
 }
 
 Status SessionManager::CheckNotExpired(const ReaderSession& session) const {
@@ -66,6 +73,13 @@ Vn SessionManager::MinActiveSessionVn(Vn fallback) const {
 size_t SessionManager::active_sessions() const {
   std::lock_guard lock(mu_);
   return active_.size();
+}
+
+bool SessionManager::WaitQuiescentUntil(
+    std::chrono::steady_clock::time_point deadline) const {
+  std::unique_lock lock(mu_);
+  return quiescent_cv_.wait_until(lock, deadline,
+                                  [this] { return active_.empty(); });
 }
 
 void SessionManager::ForceExpireBelow(Vn vn) {

@@ -1,6 +1,8 @@
 #ifndef OPENWVM_CORE_SESSION_H_
 #define OPENWVM_CORE_SESSION_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -54,6 +56,12 @@ class SessionManager {
 
   size_t active_sessions() const;
 
+  // Blocks until no session is active or `deadline` passes, whichever
+  // comes first (commit-when-quiescent, §2.1). Returns true when quiescent.
+  // Event-driven: Close signals the wait; there is no polling loop.
+  bool WaitQuiescentUntil(
+      std::chrono::steady_clock::time_point deadline) const;
+
   // Forcibly expires sessions with sessionVN < vn (rollback support, §7).
   void ForceExpireBelow(Vn vn);
 
@@ -61,6 +69,7 @@ class SessionManager {
   VersionRelation* const version_relation_;
   const int n_;
   mutable std::mutex mu_;
+  mutable std::condition_variable quiescent_cv_;
   uint64_t next_id_ = 1;
   std::map<uint64_t, Vn> active_;  // session id -> sessionVN
   Vn force_expired_below_ = kNoVn;

@@ -162,8 +162,8 @@ size_t VersionedSchema::PaperAttributeBytes() const {
          static_cast<size_t>(n_ - 1) * (4 + 1 + pre_bytes);
 }
 
-ReadOutcome ReadVersion(const VersionedSchema& vs, const Row& phys,
-                        Vn session_vn, Row* out) {
+VersionResolution ResolveVersion(const VersionedSchema& vs, const Row& phys,
+                                 Vn session_vn) {
   const int m = vs.PopulatedSlots(phys);
   WVM_CHECK_MSG(m >= 1, "physical tuple with no version slots");
 
@@ -171,9 +171,8 @@ ReadOutcome ReadVersion(const VersionedSchema& vs, const Row& phys,
   if (session_vn >= vs.TupleVn(phys, 0)) {
     Result<Op> op = vs.Operation(phys, 0);
     WVM_CHECK(op.ok());
-    if (op.value() == Op::kDelete) return ReadOutcome::kIgnore;
-    *out = vs.CurrentLogical(phys);
-    return ReadOutcome::kRow;
+    if (op.value() == Op::kDelete) return {ReadOutcome::kIgnore, -1};
+    return {ReadOutcome::kRow, -1};
   }
 
   // Find the least tupleVN_j > sessionVN; slots are ordered newest (0) to
@@ -188,20 +187,35 @@ ReadOutcome ReadVersion(const VersionedSchema& vs, const Row& phys,
   // present and the tuple simply did not exist at sessionVN, which the
   // operation check below classifies as kIgnore.
   if (j == m - 1 && session_vn < vs.TupleVn(phys, m - 1) - 1) {
-    if (m == vs.n() - 1) return ReadOutcome::kExpired;
+    if (m == vs.n() - 1) return {ReadOutcome::kExpired, j};
     Result<Op> oldest_op = vs.Operation(phys, m - 1);
     WVM_CHECK(oldest_op.ok());
     // Defensive: a partially-filled tuple whose oldest record is not the
     // insert would indicate lost history; never serve a wrong version.
-    if (oldest_op.value() != Op::kInsert) return ReadOutcome::kExpired;
+    if (oldest_op.value() != Op::kInsert) return {ReadOutcome::kExpired, j};
   }
 
   // Case 2: read the pre-update version of slot j (Table 1, second row).
   Result<Op> op = vs.Operation(phys, j);
   WVM_CHECK(op.ok());
-  if (op.value() == Op::kInsert) return ReadOutcome::kIgnore;
-  *out = vs.PreUpdateLogical(phys, j);
-  return ReadOutcome::kRow;
+  if (op.value() == Op::kInsert) return {ReadOutcome::kIgnore, j};
+  return {ReadOutcome::kRow, j};
+}
+
+Row MaterializeVersion(const VersionedSchema& vs, const Row& phys,
+                       const VersionResolution& res) {
+  WVM_CHECK(res.outcome == ReadOutcome::kRow);
+  return res.slot < 0 ? vs.CurrentLogical(phys)
+                      : vs.PreUpdateLogical(phys, res.slot);
+}
+
+ReadOutcome ReadVersion(const VersionedSchema& vs, const Row& phys,
+                        Vn session_vn, Row* out) {
+  const VersionResolution res = ResolveVersion(vs, phys, session_vn);
+  if (res.outcome == ReadOutcome::kRow) {
+    *out = MaterializeVersion(vs, phys, res);
+  }
+  return res.outcome;
 }
 
 }  // namespace wvm::core

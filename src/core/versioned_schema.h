@@ -106,8 +106,26 @@ enum class ReadOutcome {
   kExpired,  // the session overlapped too many maintenance txns (§3.2 c3)
 };
 
+// Table 1 classification without materializing the logical row: which
+// version (if any) of the physical tuple the session reads. `slot` is -1
+// when the current values (CV) apply, otherwise the version slot whose
+// pre-update values (PV) apply. The streaming scan uses this to defer —
+// and for filtered-out tuples skip entirely — the per-row copy.
+struct VersionResolution {
+  ReadOutcome outcome;
+  int slot = -1;
+};
+VersionResolution ResolveVersion(const VersionedSchema& vs, const Row& phys,
+                                 Vn session_vn);
+
+// Materializes the logical row a resolution refers to. Only valid when
+// `res.outcome == kRow`.
+Row MaterializeVersion(const VersionedSchema& vs, const Row& phys,
+                       const VersionResolution& res);
+
 // Implements the paper's Table 1 plus the nVNL case analysis of §5:
 // returns the version of the tuple that was current at `session_vn`.
+// Convenience wrapper over ResolveVersion + MaterializeVersion.
 ReadOutcome ReadVersion(const VersionedSchema& vs, const Row& phys,
                         Vn session_vn, Row* out);
 

@@ -1,7 +1,5 @@
 #include "core/vnl_engine.h"
 
-#include <thread>
-
 #include "common/strings.h"
 
 namespace wvm::core {
@@ -24,8 +22,8 @@ Result<VnlTable*> VnlEngine::CreateTable(const std::string& name,
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
-  auto table = std::unique_ptr<VnlTable>(
-      new VnlTable(name, std::move(vschema), pool_, &sessions_));
+  auto table = std::unique_ptr<VnlTable>(new VnlTable(
+      name, std::move(vschema), pool_, &sessions_, &scan_metrics_));
   VnlTable* raw = table.get();
   tables_[key] = std::move(table);
   return raw;
@@ -78,11 +76,14 @@ Status VnlEngine::CommitWhenQuiescent(MaintenanceTxn* txn,
         return Status::OK();
       }
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    // Event-driven wait: SessionManager::Close signals when the last
+    // session ends. A session opened between the wakeup and re-taking mu_
+    // above simply sends us back into the wait (§2.1 starvation is
+    // possible by design; the deadline bounds it).
+    if (!sessions_.WaitQuiescentUntil(deadline)) {
       return Status::DeadlineExceeded(
           "reader sessions are starving the maintenance commit (§2.1)");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 
@@ -94,7 +95,12 @@ Status VnlEngine::Abort(MaintenanceTxn* txn) {
   const Vn current = version_relation_->current_vn();
   bool lossless = true;
   for (auto& [name, table] : tables_) {
-    lossless &= table->RollbackTxn(txn->vn(), current);
+    // A failed revert leaves the transaction active: the caller may retry
+    // the abort; clearing active_txn_ here would strand half-reverted
+    // tuples behind a "committed" facade.
+    WVM_ASSIGN_OR_RETURN(bool table_lossless,
+                         table->RollbackTxn(txn->vn(), current));
+    lossless &= table_lossless;
   }
   if (!lossless) {
     // Sessions older than the still-current version cannot be served
@@ -107,7 +113,7 @@ Status VnlEngine::Abort(MaintenanceTxn* txn) {
   return Status::OK();
 }
 
-VnlEngine::GcStats VnlEngine::CollectGarbage() {
+Result<VnlEngine::GcStats> VnlEngine::CollectGarbage() {
   std::lock_guard lock(mu_);
   // GC must not overlap a maintenance transaction: the writer may
   // re-insert over a logically deleted tuple the collector has already
@@ -120,7 +126,9 @@ VnlEngine::GcStats VnlEngine::CollectGarbage() {
   const Vn min_session = sessions_.MinActiveSessionVn(/*fallback=*/current);
   GcStats stats;
   for (auto& [name, table] : tables_) {
-    stats.tuples_reclaimed += table->CollectGarbage(current, min_session);
+    WVM_ASSIGN_OR_RETURN(size_t reclaimed,
+                         table->CollectGarbage(current, min_session));
+    stats.tuples_reclaimed += reclaimed;
   }
   return stats;
 }

@@ -81,8 +81,15 @@ class VnlEngine {
     size_t tuples_reclaimed = 0;
   };
   // Physically removes logically deleted tuples no active or future
-  // session can read. Safe to run concurrently with readers.
-  GcStats CollectGarbage();
+  // session can read. Safe to run concurrently with readers. Heap I/O
+  // failures surface as a non-OK status.
+  Result<GcStats> CollectGarbage();
+
+  // --- Observability ---------------------------------------------------------
+
+  // Engine-wide snapshot-read counters (aggregated over every table).
+  ScanMetrics scan_metrics() const { return scan_metrics_.Snapshot(); }
+  void ResetScanMetrics() { scan_metrics_.Reset(); }
 
  private:
   VnlEngine(BufferPool* pool, int n,
@@ -96,6 +103,7 @@ class VnlEngine {
   const int n_;
   std::unique_ptr<VersionRelation> version_relation_;
   SessionManager sessions_;
+  ScanMetricsSink scan_metrics_;
 
   mutable std::mutex mu_;  // guards tables_ and active_txn_
   std::map<std::string, std::unique_ptr<VnlTable>> tables_;

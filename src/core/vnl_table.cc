@@ -3,15 +3,18 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/vnl_engine.h"
+#include "query/eval.h"
 
 namespace wvm::core {
 
 VnlTable::VnlTable(std::string name, VersionedSchema vschema,
-                   BufferPool* pool, SessionManager* sessions)
+                   BufferPool* pool, SessionManager* sessions,
+                   ScanMetricsSink* metrics)
     : name_(std::move(name)),
       vschema_(std::move(vschema)),
       phys_(std::make_unique<Table>(name_, vschema_.physical(), pool)),
-      sessions_(sessions) {}
+      sessions_(sessions),
+      metrics_(metrics) {}
 
 Status VnlTable::CheckTxn(const MaintenanceTxn* txn) const {
   if (txn == nullptr || !txn->active()) {
@@ -120,12 +123,21 @@ Status VnlTable::Insert(MaintenanceTxn* txn, const Row& logical_row) {
   return ApplyDecision(txn, d, rid, std::move(phys), &logical_row);
 }
 
-Result<std::vector<std::pair<Rid, Row>>> VnlTable::MaterializeCursor(
+Result<std::vector<Rid>> VnlTable::CollectCursor(
     Vn maintenance_vn, const RowPredicate& pred) const {
-  (void)maintenance_vn;
-  std::vector<std::pair<Rid, Row>> matches;
+  std::vector<Rid> matches;
   Status status;
   phys_->ScanRows([&](Rid rid, const Row& phys) {
+    // Single-writer protocol cross-check: no tuple may carry a VN the
+    // maintenance transaction has not reached yet.
+    if (vschema_.TupleVn(phys, 0) > maintenance_vn) {
+      status = Status::Internal(StrPrintf(
+          "tuple stamped with future VN %lld > maintenance VN %lld: "
+          "single-writer protocol violated",
+          static_cast<long long>(vschema_.TupleVn(phys, 0)),
+          static_cast<long long>(maintenance_vn)));
+      return false;
+    }
     Result<Op> op = vschema_.Operation(phys, 0);
     if (!op.ok()) {
       status = op.status();
@@ -134,12 +146,14 @@ Result<std::vector<std::pair<Rid, Row>>> VnlTable::MaterializeCursor(
     // The maintenance transaction reads the latest version (first row of
     // Table 1); logically deleted tuples are invisible to it.
     if (op.value() == Op::kDelete) return true;
-    Result<bool> keep = pred(vschema_.CurrentLogical(phys));
+    // The logical attributes are the prefix of the physical row, so the
+    // predicate can run on it directly — no per-row projection copy.
+    Result<bool> keep = pred(phys);
     if (!keep.ok()) {
       status = keep.status();
       return false;
     }
-    if (keep.value()) matches.emplace_back(rid, phys);
+    if (keep.value()) matches.push_back(rid);
     return true;
   });
   WVM_RETURN_IF_ERROR(status);
@@ -150,8 +164,12 @@ Result<size_t> VnlTable::Update(MaintenanceTxn* txn,
                                 const RowPredicate& pred,
                                 const RowTransform& transform) {
   WVM_RETURN_IF_ERROR(CheckTxn(txn));
-  WVM_ASSIGN_OR_RETURN(auto cursor, MaterializeCursor(txn->vn(), pred));
-  for (auto& [rid, phys] : cursor) {
+  WVM_ASSIGN_OR_RETURN(std::vector<Rid> cursor,
+                       CollectCursor(txn->vn(), pred));
+  for (Rid rid : cursor) {
+    // Deferred fetch: the cursor holds Rids only; the row is read when the
+    // decision procedure actually needs it.
+    WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(rid));
     const Row current = vschema_.CurrentLogical(phys);
     WVM_ASSIGN_OR_RETURN(Row next, transform(current));
     WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(next));
@@ -180,8 +198,10 @@ Result<size_t> VnlTable::Update(MaintenanceTxn* txn,
 Result<size_t> VnlTable::Delete(MaintenanceTxn* txn,
                                 const RowPredicate& pred) {
   WVM_RETURN_IF_ERROR(CheckTxn(txn));
-  WVM_ASSIGN_OR_RETURN(auto cursor, MaterializeCursor(txn->vn(), pred));
-  for (auto& [rid, phys] : cursor) {
+  WVM_ASSIGN_OR_RETURN(std::vector<Rid> cursor,
+                       CollectCursor(txn->vn(), pred));
+  for (Rid rid : cursor) {
+    WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(rid));
     WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
     WVM_ASSIGN_OR_RETURN(
         MaintenanceDecision d,
@@ -264,31 +284,39 @@ Result<std::vector<Row>> VnlTable::MaintenanceRows(
     MaintenanceTxn* txn) const {
   WVM_RETURN_IF_ERROR(CheckTxn(txn));
   WVM_ASSIGN_OR_RETURN(
-      auto cursor,
-      MaterializeCursor(txn->vn(), [](const Row&) { return true; }));
+      std::vector<Rid> cursor,
+      CollectCursor(txn->vn(), [](const Row&) { return true; }));
   std::vector<Row> rows;
   rows.reserve(cursor.size());
-  for (auto& [rid, phys] : cursor) {
+  for (Rid rid : cursor) {
+    WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(rid));
     rows.push_back(vschema_.CurrentLogical(phys));
   }
   return rows;
 }
 
-Status VnlTable::SnapshotScan(const ReaderSession& session,
-                              const std::function<bool(const Row&)>& sink,
-                              SnapshotScanStats* stats) const {
+Status VnlTable::StreamSnapshot(
+    const ReaderSession& session,
+    const std::vector<const sql::Expr*>& invariant_filter,
+    const std::vector<const sql::Expr*>& reconstructed_filter,
+    const query::ParamMap& params,
+    const std::function<bool(const Row&)>& sink,
+    SnapshotScanStats* stats) const {
+  const Schema& logical = vschema_.logical();
+  const uint64_t logical_bytes = logical.AttributeBytes();
+  uint64_t scanned = 0;
+  uint64_t reconstructed = 0;
+  uint64_t filtered = 0;
+  uint64_t emitted = 0;
   Status status;
   phys_->ScanRows([&](Rid, const Row& phys) {
-    Row out;
-    switch (ReadVersion(vschema_, phys, session.session_vn, &out)) {
-      case ReadOutcome::kRow: {
-        const bool current =
-            session.session_vn >= vschema_.TupleVn(phys, 0);
-        if (stats != nullptr) {
-          ++(current ? stats->current_reads : stats->pre_update_reads);
-        }
-        return sink(out);
-      }
+    ++scanned;
+    // Table-1 classification happens before any filtering, so expiration
+    // semantics are identical to an unfiltered scan: a too-old session
+    // fails even when the offending tuple would have been filtered out.
+    const VersionResolution res =
+        ResolveVersion(vschema_, phys, session.session_vn);
+    switch (res.outcome) {
       case ReadOutcome::kIgnore:
         if (stats != nullptr) ++stats->ignored;
         return true;
@@ -299,10 +327,53 @@ Status VnlTable::SnapshotScan(const ReaderSession& session,
             static_cast<long long>(session.session_vn),
             vschema_.n() - 1));
         return false;
+      case ReadOutcome::kRow:
+        break;
     }
-    return true;
+    if (stats != nullptr) {
+      ++(res.slot < 0 ? stats->current_reads : stats->pre_update_reads);
+    }
+    // Version-invariant conjuncts evaluate on the raw physical row (the
+    // logical attributes are its prefix, and non-updatable values are the
+    // same in every version) — a rejected tuple is never copied.
+    for (const sql::Expr* e : invariant_filter) {
+      Result<bool> keep = query::EvalPredicate(*e, logical, phys, params);
+      if (!keep.ok()) {
+        status = keep.status();
+        return false;
+      }
+      if (!keep.value()) {
+        ++filtered;
+        return true;
+      }
+    }
+    Row out = MaterializeVersion(vschema_, phys, res);
+    ++reconstructed;
+    for (const sql::Expr* e : reconstructed_filter) {
+      Result<bool> keep = query::EvalPredicate(*e, logical, out, params);
+      if (!keep.ok()) {
+        status = keep.status();
+        return false;
+      }
+      if (!keep.value()) {
+        ++filtered;
+        return true;
+      }
+    }
+    ++emitted;
+    return sink(out);
   });
+  if (metrics_ != nullptr) {
+    metrics_->RecordScan(scanned, reconstructed, filtered, emitted,
+                         reconstructed * logical_bytes);
+  }
   return status;
+}
+
+Status VnlTable::SnapshotScan(const ReaderSession& session,
+                              const std::function<bool(const Row&)>& sink,
+                              SnapshotScanStats* stats) const {
+  return StreamSnapshot(session, {}, {}, {}, sink, stats);
 }
 
 Result<std::vector<Row>> VnlTable::SnapshotRows(
@@ -315,11 +386,15 @@ Result<std::vector<Row>> VnlTable::SnapshotRows(
         return true;
       },
       stats));
+  // SnapshotRows is a materializing API by contract; callers that want the
+  // streaming path should use SnapshotScan/SnapshotSelect.
+  if (metrics_ != nullptr) metrics_->RecordFullMaterialization();
   return rows;
 }
 
 Result<std::optional<Row>> VnlTable::SnapshotLookup(
-    const ReaderSession& session, const Row& key) const {
+    const ReaderSession& session, const Row& key,
+    SnapshotScanStats* stats) const {
   if (!vschema_.logical().has_unique_key()) {
     return Status::FailedPrecondition("table has no unique key");
   }
@@ -333,11 +408,23 @@ Result<std::optional<Row>> VnlTable::SnapshotLookup(
     }
     return phys.status();
   }
-  Row out;
-  switch (ReadVersion(vschema_, *phys, session.session_vn, &out)) {
-    case ReadOutcome::kRow:
+  const VersionResolution res =
+      ResolveVersion(vschema_, *phys, session.session_vn);
+  switch (res.outcome) {
+    case ReadOutcome::kRow: {
+      if (stats != nullptr) {
+        ++(res.slot < 0 ? stats->current_reads : stats->pre_update_reads);
+      }
+      Row out = MaterializeVersion(vschema_, *phys, res);
+      if (metrics_ != nullptr) {
+        metrics_->RecordScan(1, 1, 0, 1,
+                             vschema_.logical().AttributeBytes());
+      }
       return std::optional<Row>(std::move(out));
+    }
     case ReadOutcome::kIgnore:
+      if (stats != nullptr) ++stats->ignored;
+      if (metrics_ != nullptr) metrics_->RecordScan(1, 0, 0, 0, 0);
       return std::optional<Row>();
     case ReadOutcome::kExpired:
       return Status::SessionExpired("session expired during lookup");
@@ -347,18 +434,42 @@ Result<std::optional<Row>> VnlTable::SnapshotLookup(
 
 Result<query::QueryResult> VnlTable::SnapshotSelect(
     const ReaderSession& session, const sql::SelectStmt& stmt,
-    const query::ParamMap& params) const {
-  WVM_ASSIGN_OR_RETURN(std::vector<Row> rows, SnapshotRows(session));
-  query::RowSource source =
-      [&rows](const std::function<bool(const Row&)>& sink) {
-        for (const Row& row : rows) {
-          if (!sink(row)) return;
-        }
-      };
-  return query::ExecuteSelect(stmt, vschema_.logical(), source, params);
+    const query::ParamMap& params, SnapshotScanStats* stats) const {
+  const Schema& logical = vschema_.logical();
+  // WHERE conjuncts the scan absorbs, split by pushdown eligibility:
+  // `invariant` conjuncts touch only non-updatable logical columns (same
+  // value in every version — evaluable pre-reconstruction on the physical
+  // row); `reconstructed` conjuncts touch updatable columns and must wait
+  // for the version's logical row. Conjuncts referencing anything outside
+  // the logical schema, or containing aggregates, stay in the executor's
+  // residual WHERE.
+  std::vector<const sql::Expr*> invariant;
+  std::vector<const sql::Expr*> reconstructed;
+  query::PushdownSource source;
+  source.absorb = [&](const sql::Expr& conjunct) {
+    if (sql::ContainsAggregate(conjunct)) return false;
+    bool pushable = true;
+    bool touches_updatable = false;
+    sql::ForEachColumnRef(conjunct, [&](const sql::Expr& ref) {
+      Result<size_t> idx = logical.IndexOf(ref.column);
+      if (!idx.ok()) {
+        pushable = false;
+        return;
+      }
+      if (logical.column(idx.value()).updatable) touches_updatable = true;
+    });
+    if (!pushable) return false;
+    (touches_updatable ? reconstructed : invariant).push_back(&conjunct);
+    return true;
+  };
+  source.scan = [&](const std::function<bool(const Row&)>& sink) {
+    return StreamSnapshot(session, invariant, reconstructed, params, sink,
+                          stats);
+  };
+  return query::ExecuteSelect(stmt, logical, source, params);
 }
 
-bool VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
+Result<bool> VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
   bool lossless = true;
   // Materialize the victims first; reverts mutate the heap.
   std::vector<std::pair<Rid, Row>> victims;
@@ -368,19 +479,18 @@ bool VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
   });
 
   for (auto& [rid, phys] : victims) {
-    Result<Op> op = vschema_.Operation(phys, 0);
-    WVM_CHECK(op.ok());
+    WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
     const bool has_history =
         vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1);
 
-    if (op.value() == Op::kInsert) {
+    if (op == Op::kInsert) {
       if (has_history) {
         // The insert pushed older versions back; popping the slot restores
         // them exactly (CV of a deleted tuple is never read).
         vschema_.PushForward(&phys);
-        WVM_CHECK(phys_->UpdateRow(rid, phys).ok());
+        WVM_RETURN_IF_ERROR(phys_->UpdateRow(rid, phys));
       } else {
-        WVM_CHECK(phys_->DeleteRow(rid).ok());
+        WVM_RETURN_IF_ERROR(phys_->DeleteRow(rid));
         IndexErase(vschema_.logical().KeyOf(phys));
         // A 2VNL insert over a logically deleted key destroyed the
         // pre-delete values; older sessions cannot be reconstructed.
@@ -391,7 +501,7 @@ bool VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
       continue;
     }
 
-    if (op.value() == Op::kUpdate) {
+    if (op == Op::kUpdate) {
       // Restore the current values from the saved pre-update values.
       for (size_t u = 0; u < vschema_.updatable().size(); ++u) {
         phys[vschema_.updatable()[u]] = phys[vschema_.PreIndex(u, 0)];
@@ -409,20 +519,25 @@ bool VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
       vschema_.CopyCurrentToPre(&phys, 0);
       lossless = false;
     }
-    WVM_CHECK(phys_->UpdateRow(rid, phys).ok());
+    WVM_RETURN_IF_ERROR(phys_->UpdateRow(rid, phys));
   }
   return lossless;
 }
 
-size_t VnlTable::CollectGarbage(Vn current_vn, Vn min_active_session_vn) {
+Result<size_t> VnlTable::CollectGarbage(Vn current_vn,
+                                        Vn min_active_session_vn) {
   // A logically deleted tuple is reclaimable once every session that could
   // still see any of its versions is gone: active sessions all have
   // sessionVN >= tupleVN (so they ignore it), and new sessions start at
   // currentVN >= tupleVN.
+  Status status;
   std::vector<std::pair<Rid, Row>> victims;
   phys_->ScanRows([&](Rid rid, const Row& phys) {
     Result<Op> op = vschema_.Operation(phys, 0);
-    WVM_CHECK(op.ok());
+    if (!op.ok()) {
+      status = op.status();
+      return false;
+    }
     const Vn vn = vschema_.TupleVn(phys, 0);
     if (op.value() == Op::kDelete && vn <= current_vn &&
         min_active_session_vn >= vn) {
@@ -430,10 +545,10 @@ size_t VnlTable::CollectGarbage(Vn current_vn, Vn min_active_session_vn) {
     }
     return true;
   });
+  WVM_RETURN_IF_ERROR(status);
   for (auto& [rid, phys] : victims) {
-    if (phys_->DeleteRow(rid).ok()) {
-      IndexErase(vschema_.logical().KeyOf(phys));
-    }
+    WVM_RETURN_IF_ERROR(phys_->DeleteRow(rid));
+    IndexErase(vschema_.logical().KeyOf(phys));
   }
   return victims.size();
 }

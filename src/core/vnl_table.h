@@ -12,6 +12,7 @@
 #include "catalog/table.h"
 #include "common/result.h"
 #include "core/decision_tables.h"
+#include "core/scan_metrics.h"
 #include "core/session.h"
 #include "core/version_relation.h"
 #include "core/versioned_schema.h"
@@ -52,7 +53,10 @@ class MaintenanceTxn {
 };
 
 // Per-row callbacks used by the cursor-style maintenance statements
-// (§4.2): both receive the *logical* current row.
+// (§4.2): both receive the *logical* current row. The row handed to a
+// RowPredicate may be backed by the wider physical tuple (the logical
+// attributes are its prefix, with identical values) — index it by logical
+// column position only.
 using RowPredicate = std::function<Result<bool>(const Row&)>;
 using RowTransform = std::function<Result<Row>(const Row&)>;
 
@@ -118,16 +122,26 @@ class VnlTable {
   Result<std::vector<Row>> SnapshotRows(
       const ReaderSession& session, SnapshotScanStats* stats = nullptr) const;
 
-  // Key lookup within the session's snapshot.
-  Result<std::optional<Row>> SnapshotLookup(const ReaderSession& session,
-                                            const Row& key) const;
+  // Key lookup within the session's snapshot. Point reads participate in
+  // the same SnapshotScanStats accounting as scans.
+  Result<std::optional<Row>> SnapshotLookup(
+      const ReaderSession& session, const Row& key,
+      SnapshotScanStats* stats = nullptr) const;
 
   // Runs a SELECT over the session's snapshot (aggregates, grouping, the
   // full query layer). Statement table name is not checked against this
   // table — the engine routes by name.
+  //
+  // The read is fully streaming: Table-1 version resolution, predicate
+  // evaluation, and projection happen per tuple inside one heap pass.
+  // WHERE conjuncts that reference only base (logical) columns are pushed
+  // into the scan; conjuncts over version-invariant (non-updatable)
+  // columns are evaluated before the logical row is even materialized, so
+  // filtered-out tuples cost zero Row copies.
   Result<query::QueryResult> SnapshotSelect(
       const ReaderSession& session, const sql::SelectStmt& stmt,
-      const query::ParamMap& params = {}) const;
+      const query::ParamMap& params = {},
+      SnapshotScanStats* stats = nullptr) const;
 
   // --- Introspection -------------------------------------------------------
 
@@ -138,7 +152,7 @@ class VnlTable {
   friend class VnlEngine;
 
   VnlTable(std::string name, VersionedSchema vschema, BufferPool* pool,
-           SessionManager* sessions);
+           SessionManager* sessions, ScanMetricsSink* metrics);
 
   Status CheckTxn(const MaintenanceTxn* txn) const;
 
@@ -148,11 +162,26 @@ class VnlTable {
   Status ApplyDecision(MaintenanceTxn* txn, const MaintenanceDecision& d,
                        Rid rid, Row phys, const Row* mv_logical);
 
-  // Cursor materialization: (rid, physical row) pairs the maintenance txn
-  // can see (skips logically deleted tuples) matching `pred` on the
-  // current logical projection.
-  Result<std::vector<std::pair<Rid, Row>>> MaterializeCursor(
-      Vn maintenance_vn, const RowPredicate& pred) const;
+  // Incremental cursor (Example 4.3): collects the Rids of tuples the
+  // maintenance txn can see (skips logically deleted tuples) matching
+  // `pred` on the current logical projection — rows are re-fetched at
+  // apply time, so non-matching tuples are never copied. `maintenance_vn`
+  // cross-checks the single-writer protocol: a tuple already stamped with
+  // a later VN means a concurrent writer slipped past BeginMaintenance.
+  Result<std::vector<Rid>> CollectCursor(Vn maintenance_vn,
+                                         const RowPredicate& pred) const;
+
+  // The single streaming read pass all snapshot reads funnel through:
+  // per heap tuple, Table-1 resolution, then `invariant_filter` on the
+  // raw physical row (logical prefix — no copy), then materialization,
+  // then `reconstructed_filter` on the logical row, then `sink`.
+  Status StreamSnapshot(
+      const ReaderSession& session,
+      const std::vector<const sql::Expr*>& invariant_filter,
+      const std::vector<const sql::Expr*>& reconstructed_filter,
+      const query::ParamMap& params,
+      const std::function<bool(const Row&)>& sink,
+      SnapshotScanStats* stats) const;
 
   std::optional<Rid> IndexLookup(const Row& key) const;
   void IndexInsert(const Row& key, Rid rid);
@@ -162,16 +191,19 @@ class VnlTable {
   // txn_vn. Returns true when the revert was lossless (all pre-states
   // fully reconstructed — guaranteed for n > 2 when history slots were
   // available); false when sessions older than current_vn must be expired.
-  bool RollbackTxn(Vn txn_vn, Vn current_vn);
+  // Heap I/O failures surface as a non-OK status instead of aborting.
+  Result<bool> RollbackTxn(Vn txn_vn, Vn current_vn);
 
   // Garbage collection (§7): physically removes logically deleted tuples
-  // whose versions no active or future session can read.
-  size_t CollectGarbage(Vn current_vn, Vn min_active_session_vn);
+  // whose versions no active or future session can read. Heap I/O
+  // failures surface as a non-OK status instead of aborting.
+  Result<size_t> CollectGarbage(Vn current_vn, Vn min_active_session_vn);
 
   std::string name_;
   VersionedSchema vschema_;
   std::unique_ptr<Table> phys_;
   SessionManager* sessions_;
+  ScanMetricsSink* metrics_;
 
   mutable std::mutex index_mu_;
   std::unordered_map<Row, Rid, RowHash, RowEq> key_index_;

@@ -22,16 +22,18 @@ struct RowLess {
   }
 };
 
-bool ContainsAggregate(const sql::Expr& e) {
-  if (e.kind == sql::ExprKind::kAggCall) return true;
-  if (e.child0 != nullptr && ContainsAggregate(*e.child0)) return true;
-  if (e.child1 != nullptr && ContainsAggregate(*e.child1)) return true;
-  for (const sql::CaseWhen& w : e.whens) {
-    if (ContainsAggregate(*w.condition) || ContainsAggregate(*w.result)) {
-      return true;
-    }
+using sql::ContainsAggregate;
+
+// Evaluates the residual WHERE conjuncts against one row (logical AND;
+// NULL and false both reject).
+Result<bool> KeepRow(const std::vector<const sql::Expr*>& conjuncts,
+                     const Schema& schema, const Row& row,
+                     const ParamMap& params) {
+  for (const sql::Expr* e : conjuncts) {
+    WVM_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*e, schema, row, params));
+    if (!keep) return false;
   }
-  return e.else_expr != nullptr && ContainsAggregate(*e.else_expr);
+  return true;
 }
 
 // Running state for one aggregate output column within one group.
@@ -82,10 +84,10 @@ std::string OutputName(const sql::SelectItem& item) {
   return item.alias.empty() ? item.expr->ToSql() : item.alias;
 }
 
-Result<QueryResult> ExecuteAggregate(const sql::SelectStmt& stmt,
-                                     const Schema& schema,
-                                     const RowSource& source,
-                                     const ParamMap& params) {
+Result<QueryResult> ExecuteAggregate(
+    const sql::SelectStmt& stmt, const Schema& schema,
+    const RowSource& source, const std::vector<const sql::Expr*>& where,
+    const ParamMap& params) {
   // Classify select items: group-by column refs vs aggregate calls.
   struct ItemPlan {
     bool is_aggregate;
@@ -131,14 +133,12 @@ Result<QueryResult> ExecuteAggregate(const sql::SelectStmt& stmt,
   std::map<Row, Row, RowLess> group_first_row;
   Status scan_status;
   source([&](const Row& row) {
-    if (stmt.where != nullptr) {
-      Result<bool> keep = EvalPredicate(*stmt.where, schema, row, params);
-      if (!keep.ok()) {
-        scan_status = keep.status();
-        return false;
-      }
-      if (!keep.value()) return true;
+    Result<bool> keep = KeepRow(where, schema, row, params);
+    if (!keep.ok()) {
+      scan_status = keep.status();
+      return false;
     }
+    if (!keep.value()) return true;
     Row key;
     key.reserve(key_cols.size());
     for (size_t c : key_cols) key.push_back(row[c]);
@@ -202,12 +202,12 @@ Result<QueryResult> ExecuteAggregate(const sql::SelectStmt& stmt,
   return result;
 }
 
-}  // namespace
-
-Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
-                                  const Schema& input_schema,
-                                  const RowSource& source,
-                                  const ParamMap& params) {
+// Runs the SELECT with an explicit residual-WHERE conjunct list (the
+// pushdown entry point strips the conjuncts the source absorbed).
+Result<QueryResult> ExecuteSelectResidual(
+    const sql::SelectStmt& stmt, const Schema& input_schema,
+    const RowSource& source, const std::vector<const sql::Expr*>& where,
+    const ParamMap& params) {
   bool has_agg = false;
   for (const sql::SelectItem& item : stmt.items) {
     if (ContainsAggregate(*item.expr)) has_agg = true;
@@ -216,7 +216,7 @@ Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
     if (stmt.select_star) {
       return Status::InvalidArgument("SELECT * cannot be grouped");
     }
-    return ExecuteAggregate(stmt, input_schema, source, params);
+    return ExecuteAggregate(stmt, input_schema, source, where, params);
   }
 
   QueryResult result;
@@ -232,15 +232,12 @@ Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
 
   Status scan_status;
   source([&](const Row& row) {
-    if (stmt.where != nullptr) {
-      Result<bool> keep =
-          EvalPredicate(*stmt.where, input_schema, row, params);
-      if (!keep.ok()) {
-        scan_status = keep.status();
-        return false;
-      }
-      if (!keep.value()) return true;
+    Result<bool> keep = KeepRow(where, input_schema, row, params);
+    if (!keep.ok()) {
+      scan_status = keep.status();
+      return false;
     }
+    if (!keep.value()) return true;
     if (stmt.select_star) {
       result.rows.push_back(row);
       return true;
@@ -258,6 +255,43 @@ Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
     result.rows.push_back(std::move(out));
     return true;
   });
+  WVM_RETURN_IF_ERROR(scan_status);
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const Schema& input_schema,
+                                  const RowSource& source,
+                                  const ParamMap& params) {
+  std::vector<const sql::Expr*> where;
+  if (stmt.where != nullptr) sql::CollectConjuncts(*stmt.where, &where);
+  return ExecuteSelectResidual(stmt, input_schema, source, where, params);
+}
+
+Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const Schema& input_schema,
+                                  const PushdownSource& source,
+                                  const ParamMap& params) {
+  std::vector<const sql::Expr*> residual;
+  if (stmt.where != nullptr) {
+    std::vector<const sql::Expr*> conjuncts;
+    sql::CollectConjuncts(*stmt.where, &conjuncts);
+    for (const sql::Expr* e : conjuncts) {
+      if (source.absorb == nullptr || !source.absorb(*e)) {
+        residual.push_back(e);
+      }
+    }
+  }
+  Status scan_status;
+  RowSource rows = [&](const std::function<bool(const Row&)>& sink) {
+    scan_status = source.scan(sink);
+  };
+  Result<QueryResult> result =
+      ExecuteSelectResidual(stmt, input_schema, rows, residual, params);
+  // A scan-side failure (e.g. session expiration mid-stream) outranks a
+  // result assembled from the truncated stream.
   WVM_RETURN_IF_ERROR(scan_status);
   return result;
 }

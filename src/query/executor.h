@@ -28,6 +28,20 @@ struct QueryResult {
 using RowSource =
     std::function<void(const std::function<bool(const Row&)>& sink)>;
 
+// A row stream that can additionally evaluate WHERE conjuncts itself,
+// before rows reach the executor ("predicate pushdown"). The executor
+// splits the WHERE clause into top-level AND conjuncts and offers each to
+// `absorb`; a conjunct the source accepts becomes the source's obligation
+// — every row `scan` hands to the sink must already satisfy it — and only
+// the declined remainder is evaluated per row by the executor. `scan`
+// returns the scan's own status (e.g. kSessionExpired mid-stream), which
+// takes precedence over a partially assembled result.
+struct PushdownSource {
+  // May be null: then no conjunct is absorbed.
+  std::function<bool(const sql::Expr& conjunct)> absorb;
+  std::function<Status(const std::function<bool(const Row&)>& sink)> scan;
+};
+
 // Executes a SELECT over rows of `input_schema` produced by `source`.
 // Supports WHERE, projection, GROUP BY with SUM/COUNT/AVG/MIN/MAX, and
 // grand-total aggregation without GROUP BY. Grouped output is sorted by
@@ -35,6 +49,13 @@ using RowSource =
 Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
                                   const Schema& input_schema,
                                   const RowSource& source,
+                                  const ParamMap& params);
+
+// Pushdown-capable overload: WHERE conjuncts accepted by `source.absorb`
+// are evaluated inside the source's scan; the executor evaluates the rest.
+Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const Schema& input_schema,
+                                  const PushdownSource& source,
                                   const ParamMap& params);
 
 // Convenience overload scanning a catalog table.

@@ -1,6 +1,7 @@
 #ifndef OPENWVM_SQL_AST_H_
 #define OPENWVM_SQL_AST_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -89,6 +90,21 @@ ExprPtr IsNull(ExprPtr e, bool negated);
 
 // Conjunction builder: And(a, b) with either side possibly null.
 ExprPtr AndMaybe(ExprPtr a, ExprPtr b);
+
+// ---------------------------------------------------------------------------
+// Expression analysis (shared by the executor's predicate pushdown and the
+// engine's pushdown-eligibility classification)
+
+// Appends the top-level AND conjuncts of `e` to `out`; an expression
+// without a top-level AND contributes itself. Pointers alias `e`.
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out);
+
+// True when the expression tree contains an aggregate call.
+bool ContainsAggregate(const Expr& e);
+
+// Invokes `fn` for every kColumnRef node in the tree.
+void ForEachColumnRef(const Expr& e,
+                      const std::function<void(const Expr&)>& fn);
 
 // ---------------------------------------------------------------------------
 // Statements

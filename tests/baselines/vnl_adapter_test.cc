@@ -79,7 +79,8 @@ TEST_F(VnlAdapterTest, ExposesUnderlyingEngineForCoreFeatures) {
   ASSERT_TRUE(adapter_->CommitMaintenance().ok());
   // GC and session checks come from the wrapped core engine.
   EXPECT_EQ(adapter_->engine()->current_vn(), 1);
-  EXPECT_EQ(adapter_->engine()->CollectGarbage().tuples_reclaimed, 0u);
+  EXPECT_EQ(adapter_->engine()->CollectGarbage().value().tuples_reclaimed,
+            0u);
 }
 
 }  // namespace

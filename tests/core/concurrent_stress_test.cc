@@ -121,7 +121,7 @@ TEST_P(ConcurrentStressTest, SessionsAlwaysSeeACommittedState) {
 
   std::thread gc([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      engine.CollectGarbage();
+      WVM_CHECK(engine.CollectGarbage().ok());
       std::this_thread::sleep_for(std::chrono::milliseconds(3));
     }
   });

@@ -64,7 +64,7 @@ TEST_P(GcTest, ReclaimsDeletedTuplesWhenNoReaders) {
   DeleteIds(0, 4);
   EXPECT_EQ(table_->physical_rows(), 10u);  // logical deletes only
 
-  VnlEngine::GcStats stats = engine_->CollectGarbage();
+  VnlEngine::GcStats stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 5u);
   EXPECT_EQ(table_->physical_rows(), 5u);
 }
@@ -76,7 +76,7 @@ TEST_P(GcTest, KeepsTuplesVisibleToActiveSessions) {
 
   // old_session (VN 1) still reads the pre-delete versions: GC must not
   // touch them.
-  VnlEngine::GcStats stats = engine_->CollectGarbage();
+  VnlEngine::GcStats stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 0u);
 
   Result<std::vector<Row>> rows = table_->SnapshotRows(old_session);
@@ -85,14 +85,14 @@ TEST_P(GcTest, KeepsTuplesVisibleToActiveSessions) {
 
   // Once the old session closes, the tuples are reclaimable.
   engine_->CloseSession(old_session);
-  stats = engine_->CollectGarbage();
+  stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 5u);
 }
 
 TEST_P(GcTest, ReclaimedKeysCanBeReinsertedFresh) {
   Load(3);
   DeleteIds(0, 2);
-  ASSERT_EQ(engine_->CollectGarbage().tuples_reclaimed, 3u);
+  ASSERT_EQ(engine_->CollectGarbage().value().tuples_reclaimed, 3u);
 
   MaintenanceTxn* txn = Begin();
   ASSERT_TRUE(table_->Insert(txn, Item(1, 999)).ok());
@@ -116,11 +116,11 @@ TEST_P(GcTest, DoesNotTouchLiveTuplesOrActiveTxnWrites) {
                            })
                   .ok());
   // The delete is uncommitted (tupleVN > currentVN): GC must skip it.
-  VnlEngine::GcStats stats = engine_->CollectGarbage();
+  VnlEngine::GcStats stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 0u);
   Commit(txn);
 
-  stats = engine_->CollectGarbage();
+  stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 1u);
   EXPECT_EQ(table_->physical_rows(), 4u);
 }
@@ -129,7 +129,7 @@ TEST_P(GcTest, SessionsAtCurrentVersionNeverBlockGc) {
   Load(5);
   DeleteIds(0, 1);
   ReaderSession fresh = engine_->OpenSession();  // VN 2, ignores deletes
-  VnlEngine::GcStats stats = engine_->CollectGarbage();
+  VnlEngine::GcStats stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 2u);
   Result<std::vector<Row>> rows = table_->SnapshotRows(fresh);
   ASSERT_TRUE(rows.ok());

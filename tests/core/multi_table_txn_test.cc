@@ -104,7 +104,7 @@ TEST_F(MultiTableTxnTest, GcSweepsAllTables) {
       returns_->DeleteByKey(txn, {Value::String("San Jose")}).value());
   ASSERT_TRUE(engine_->Commit(txn).ok());
 
-  VnlEngine::GcStats stats = engine_->CollectGarbage();
+  VnlEngine::GcStats stats = engine_->CollectGarbage().value();
   EXPECT_EQ(stats.tuples_reclaimed, 2u);
   EXPECT_EQ(sales_->physical_rows(), 0u);
   EXPECT_EQ(returns_->physical_rows(), 0u);
