@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fig2_availability.dir/bench_fig1_fig2_availability.cc.o"
+  "CMakeFiles/bench_fig1_fig2_availability.dir/bench_fig1_fig2_availability.cc.o.d"
+  "bench_fig1_fig2_availability"
+  "bench_fig1_fig2_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_to_6_walkthrough.dir/bench_fig4_to_6_walkthrough.cc.o"
+  "CMakeFiles/bench_fig4_to_6_walkthrough.dir/bench_fig4_to_6_walkthrough.cc.o.d"
+  "bench_fig4_to_6_walkthrough"
+  "bench_fig4_to_6_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_to_6_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

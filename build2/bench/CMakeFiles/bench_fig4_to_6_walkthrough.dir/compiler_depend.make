@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_to_6_walkthrough.
+# This may be replaced when dependencies are built.

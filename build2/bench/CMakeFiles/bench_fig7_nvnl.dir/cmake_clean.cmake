@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nvnl.dir/bench_fig7_nvnl.cc.o"
+  "CMakeFiles/bench_fig7_nvnl.dir/bench_fig7_nvnl.cc.o.d"
+  "bench_fig7_nvnl"
+  "bench_fig7_nvnl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nvnl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

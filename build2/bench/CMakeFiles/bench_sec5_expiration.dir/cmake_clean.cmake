@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_expiration.dir/bench_sec5_expiration.cc.o"
+  "CMakeFiles/bench_sec5_expiration.dir/bench_sec5_expiration.cc.o.d"
+  "bench_sec5_expiration"
+  "bench_sec5_expiration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_expiration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_io.dir/bench_sec6_io.cc.o"
+  "CMakeFiles/bench_sec6_io.dir/bench_sec6_io.cc.o.d"
+  "bench_sec6_io"
+  "bench_sec6_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_gc.dir/bench_sec7_gc.cc.o"
+  "CMakeFiles/bench_sec7_gc.dir/bench_sec7_gc.cc.o.d"
+  "bench_sec7_gc"
+  "bench_sec7_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_rollback.dir/bench_sec7_rollback.cc.o"
+  "CMakeFiles/bench_sec7_rollback.dir/bench_sec7_rollback.cc.o.d"
+  "bench_sec7_rollback"
+  "bench_sec7_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

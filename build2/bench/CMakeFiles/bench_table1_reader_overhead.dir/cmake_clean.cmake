@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reader_overhead.dir/bench_table1_reader_overhead.cc.o"
+  "CMakeFiles/bench_table1_reader_overhead.dir/bench_table1_reader_overhead.cc.o.d"
+  "bench_table1_reader_overhead"
+  "bench_table1_reader_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reader_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

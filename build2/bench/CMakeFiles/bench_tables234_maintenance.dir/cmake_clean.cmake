@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables234_maintenance.dir/bench_tables234_maintenance.cc.o"
+  "CMakeFiles/bench_tables234_maintenance.dir/bench_tables234_maintenance.cc.o.d"
+  "bench_tables234_maintenance"
+  "bench_tables234_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables234_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

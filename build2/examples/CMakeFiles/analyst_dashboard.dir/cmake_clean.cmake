@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyst_dashboard.dir/analyst_dashboard.cc.o"
+  "CMakeFiles/analyst_dashboard.dir/analyst_dashboard.cc.o.d"
+  "analyst_dashboard"
+  "analyst_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyst_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

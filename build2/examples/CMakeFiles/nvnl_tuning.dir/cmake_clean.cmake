@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvnl_tuning.dir/nvnl_tuning.cc.o"
+  "CMakeFiles/nvnl_tuning.dir/nvnl_tuning.cc.o.d"
+  "nvnl_tuning"
+  "nvnl_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvnl_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_rewrite_tour.dir/sql_rewrite_tour.cc.o"
+  "CMakeFiles/sql_rewrite_tour.dir/sql_rewrite_tour.cc.o.d"
+  "sql_rewrite_tour"
+  "sql_rewrite_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_rewrite_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

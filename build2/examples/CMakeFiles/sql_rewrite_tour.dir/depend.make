@@ -1,0 +1,2 @@
+# Empty dependencies file for sql_rewrite_tour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/mv2pl_engine.cc" "src/CMakeFiles/openwvm.dir/baselines/mv2pl_engine.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/baselines/mv2pl_engine.cc.o.d"
+  "/root/repo/src/baselines/offline_engine.cc" "src/CMakeFiles/openwvm.dir/baselines/offline_engine.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/baselines/offline_engine.cc.o.d"
+  "/root/repo/src/baselines/s2pl_engine.cc" "src/CMakeFiles/openwvm.dir/baselines/s2pl_engine.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/baselines/s2pl_engine.cc.o.d"
+  "/root/repo/src/baselines/two_v2pl_engine.cc" "src/CMakeFiles/openwvm.dir/baselines/two_v2pl_engine.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/baselines/two_v2pl_engine.cc.o.d"
+  "/root/repo/src/baselines/vnl_adapter.cc" "src/CMakeFiles/openwvm.dir/baselines/vnl_adapter.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/baselines/vnl_adapter.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/openwvm.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/openwvm.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/CMakeFiles/openwvm.dir/catalog/table.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/catalog/table.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/CMakeFiles/openwvm.dir/catalog/value.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/catalog/value.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/openwvm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/openwvm.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/openwvm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/openwvm.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/decision_tables.cc" "src/CMakeFiles/openwvm.dir/core/decision_tables.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/decision_tables.cc.o.d"
+  "/root/repo/src/core/maintenance_rewriter.cc" "src/CMakeFiles/openwvm.dir/core/maintenance_rewriter.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/maintenance_rewriter.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "src/CMakeFiles/openwvm.dir/core/rewriter.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/rewriter.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/openwvm.dir/core/session.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/session.cc.o.d"
+  "/root/repo/src/core/version_meta.cc" "src/CMakeFiles/openwvm.dir/core/version_meta.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/version_meta.cc.o.d"
+  "/root/repo/src/core/version_relation.cc" "src/CMakeFiles/openwvm.dir/core/version_relation.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/version_relation.cc.o.d"
+  "/root/repo/src/core/versioned_schema.cc" "src/CMakeFiles/openwvm.dir/core/versioned_schema.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/versioned_schema.cc.o.d"
+  "/root/repo/src/core/vnl_engine.cc" "src/CMakeFiles/openwvm.dir/core/vnl_engine.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/vnl_engine.cc.o.d"
+  "/root/repo/src/core/vnl_table.cc" "src/CMakeFiles/openwvm.dir/core/vnl_table.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/core/vnl_table.cc.o.d"
+  "/root/repo/src/query/eval.cc" "src/CMakeFiles/openwvm.dir/query/eval.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/query/eval.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/openwvm.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/query/executor.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/openwvm.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/openwvm.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/openwvm.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/openwvm.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/openwvm.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/table_heap.cc" "src/CMakeFiles/openwvm.dir/storage/table_heap.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/storage/table_heap.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/openwvm.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/warehouse/schedule.cc" "src/CMakeFiles/openwvm.dir/warehouse/schedule.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/warehouse/schedule.cc.o.d"
+  "/root/repo/src/warehouse/view_maintenance.cc" "src/CMakeFiles/openwvm.dir/warehouse/view_maintenance.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/warehouse/view_maintenance.cc.o.d"
+  "/root/repo/src/warehouse/workload.cc" "src/CMakeFiles/openwvm.dir/warehouse/workload.cc.o" "gcc" "src/CMakeFiles/openwvm.dir/warehouse/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_stress_test.dir/core/concurrent_stress_test.cc.o"
+  "CMakeFiles/concurrent_stress_test.dir/core/concurrent_stress_test.cc.o.d"
+  "concurrent_stress_test"
+  "concurrent_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

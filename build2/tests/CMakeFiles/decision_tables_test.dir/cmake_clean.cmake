@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_tables_test.dir/core/decision_tables_test.cc.o"
+  "CMakeFiles/decision_tables_test.dir/core/decision_tables_test.cc.o.d"
+  "decision_tables_test"
+  "decision_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_equivalence_test.dir/baselines/engine_equivalence_test.cc.o"
+  "CMakeFiles/engine_equivalence_test.dir/baselines/engine_equivalence_test.cc.o.d"
+  "engine_equivalence_test"
+  "engine_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_test.dir/core/gc_test.cc.o"
+  "CMakeFiles/gc_test.dir/core/gc_test.cc.o.d"
+  "gc_test"
+  "gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_rewriter_test.dir/core/maintenance_rewriter_test.cc.o"
+  "CMakeFiles/maintenance_rewriter_test.dir/core/maintenance_rewriter_test.cc.o.d"
+  "maintenance_rewriter_test"
+  "maintenance_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2pl_engine_test.dir/baselines/mv2pl_engine_test.cc.o"
+  "CMakeFiles/mv2pl_engine_test.dir/baselines/mv2pl_engine_test.cc.o.d"
+  "mv2pl_engine_test"
+  "mv2pl_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2pl_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

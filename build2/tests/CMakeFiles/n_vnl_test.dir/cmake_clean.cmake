@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/n_vnl_test.dir/core/n_vnl_test.cc.o"
+  "CMakeFiles/n_vnl_test.dir/core/n_vnl_test.cc.o.d"
+  "n_vnl_test"
+  "n_vnl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/n_vnl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_engine_test.dir/baselines/offline_engine_test.cc.o"
+  "CMakeFiles/offline_engine_test.dir/baselines/offline_engine_test.cc.o.d"
+  "offline_engine_test"
+  "offline_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quiescent_commit_test.dir/core/quiescent_commit_test.cc.o"
+  "CMakeFiles/quiescent_commit_test.dir/core/quiescent_commit_test.cc.o.d"
+  "quiescent_commit_test"
+  "quiescent_commit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quiescent_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

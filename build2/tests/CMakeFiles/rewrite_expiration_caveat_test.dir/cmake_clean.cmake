@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_expiration_caveat_test.dir/core/rewrite_expiration_caveat_test.cc.o"
+  "CMakeFiles/rewrite_expiration_caveat_test.dir/core/rewrite_expiration_caveat_test.cc.o.d"
+  "rewrite_expiration_caveat_test"
+  "rewrite_expiration_caveat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_expiration_caveat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

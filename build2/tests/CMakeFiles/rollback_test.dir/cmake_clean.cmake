@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_test.dir/core/rollback_test.cc.o"
+  "CMakeFiles/rollback_test.dir/core/rollback_test.cc.o.d"
+  "rollback_test"
+  "rollback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_serde_test.dir/catalog/row_serde_test.cc.o"
+  "CMakeFiles/row_serde_test.dir/catalog/row_serde_test.cc.o.d"
+  "row_serde_test"
+  "row_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

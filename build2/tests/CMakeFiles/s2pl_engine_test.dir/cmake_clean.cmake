@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2pl_engine_test.dir/baselines/s2pl_engine_test.cc.o"
+  "CMakeFiles/s2pl_engine_test.dir/baselines/s2pl_engine_test.cc.o.d"
+  "s2pl_engine_test"
+  "s2pl_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2pl_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_clock_test.dir/common/sim_clock_test.cc.o"
+  "CMakeFiles/sim_clock_test.dir/common/sim_clock_test.cc.o.d"
+  "sim_clock_test"
+  "sim_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

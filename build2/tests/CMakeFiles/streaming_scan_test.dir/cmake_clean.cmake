@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_scan_test.dir/core/streaming_scan_test.cc.o"
+  "CMakeFiles/streaming_scan_test.dir/core/streaming_scan_test.cc.o.d"
+  "streaming_scan_test"
+  "streaming_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

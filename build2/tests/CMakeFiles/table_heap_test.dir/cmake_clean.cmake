@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_heap_test.dir/storage/table_heap_test.cc.o"
+  "CMakeFiles/table_heap_test.dir/storage/table_heap_test.cc.o.d"
+  "table_heap_test"
+  "table_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

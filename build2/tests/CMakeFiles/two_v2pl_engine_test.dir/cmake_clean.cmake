@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_v2pl_engine_test.dir/baselines/two_v2pl_engine_test.cc.o"
+  "CMakeFiles/two_v2pl_engine_test.dir/baselines/two_v2pl_engine_test.cc.o.d"
+  "two_v2pl_engine_test"
+  "two_v2pl_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_v2pl_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_relation_test.dir/core/version_relation_test.cc.o"
+  "CMakeFiles/version_relation_test.dir/core/version_relation_test.cc.o.d"
+  "version_relation_test"
+  "version_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_schema_test.dir/core/versioned_schema_test.cc.o"
+  "CMakeFiles/versioned_schema_test.dir/core/versioned_schema_test.cc.o.d"
+  "versioned_schema_test"
+  "versioned_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_maintenance_test.dir/warehouse/view_maintenance_test.cc.o"
+  "CMakeFiles/view_maintenance_test.dir/warehouse/view_maintenance_test.cc.o.d"
+  "view_maintenance_test"
+  "view_maintenance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

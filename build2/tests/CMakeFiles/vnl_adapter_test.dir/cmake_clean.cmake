@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnl_adapter_test.dir/baselines/vnl_adapter_test.cc.o"
+  "CMakeFiles/vnl_adapter_test.dir/baselines/vnl_adapter_test.cc.o.d"
+  "vnl_adapter_test"
+  "vnl_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnl_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

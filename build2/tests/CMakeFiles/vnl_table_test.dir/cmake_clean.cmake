@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnl_table_test.dir/core/vnl_table_test.cc.o"
+  "CMakeFiles/vnl_table_test.dir/core/vnl_table_test.cc.o.d"
+  "vnl_table_test"
+  "vnl_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnl_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

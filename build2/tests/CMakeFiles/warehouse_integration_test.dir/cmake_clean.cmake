@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_integration_test.dir/warehouse/warehouse_integration_test.cc.o"
+  "CMakeFiles/warehouse_integration_test.dir/warehouse/warehouse_integration_test.cc.o.d"
+  "warehouse_integration_test"
+  "warehouse_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
