@@ -19,6 +19,12 @@ Schema::Schema(std::vector<Column> columns, std::vector<size_t> key_indices)
   for (size_t k : key_indices_) {
     WVM_CHECK_MSG(k < columns_.size(), "key index out of range");
   }
+  offsets_.reserve(columns_.size());
+  size_t off = NullBitmapBytes();
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += c.width;
+  }
 }
 
 Result<size_t> Schema::IndexOf(const std::string& name) const {
@@ -215,6 +221,13 @@ Row DeserializeRow(const Schema& schema, const uint8_t* data) {
     slot += col.width;
   }
   return row;
+}
+
+Value DeserializeColumn(const Schema& schema, const uint8_t* data,
+                        size_t i) {
+  const Column& col = schema.column(i);
+  if (RecordColumnIsNull(data, i)) return Value::Null(col.type);
+  return DecodeValue(col, data + schema.ColumnOffset(i));
 }
 
 }  // namespace wvm

@@ -73,6 +73,11 @@ class Schema {
   size_t RowByteSize() const;
   size_t NullBitmapBytes() const { return (columns_.size() + 7) / 8; }
 
+  // Byte offset of column i's fixed-width slot inside a serialized row
+  // (bitmap included). Lets scan hot loops read single attributes off raw
+  // record bytes without deserializing the whole row.
+  size_t ColumnOffset(size_t i) const { return offsets_[i]; }
+
   // Extracts the key values of `row` in key-index order.
   Row KeyOf(const Row& row) const;
 
@@ -87,6 +92,7 @@ class Schema {
  private:
   std::vector<Column> columns_;
   std::vector<size_t> key_indices_;
+  std::vector<size_t> offsets_;  // per-column slot offsets, bitmap included
 };
 
 // Serializes `row` into exactly schema.RowByteSize() bytes at `out`.
@@ -96,6 +102,14 @@ void SerializeRow(const Schema& schema, const Row& row, uint8_t* out);
 
 // Inverse of SerializeRow.
 Row DeserializeRow(const Schema& schema, const uint8_t* data);
+
+// Null-bitmap test on a serialized row.
+inline bool RecordColumnIsNull(const uint8_t* data, size_t i) {
+  return (data[i / 8] & (1u << (i % 8))) != 0;
+}
+
+// Deserializes a single column out of a serialized row (NULL-aware).
+Value DeserializeColumn(const Schema& schema, const uint8_t* data, size_t i);
 
 }  // namespace wvm
 

@@ -1,0 +1,52 @@
+#include "core/scan_executor.h"
+
+#include <utility>
+
+namespace wvm::core {
+
+ScanExecutor::~ScanExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ScanExecutor::EnsureWorkers(size_t n) {
+  std::lock_guard lock(mu_);
+  while (threads_.size() < n) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ScanExecutor::Submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+size_t ScanExecutor::workers() const {
+  std::lock_guard lock(mu_);
+  return threads_.size();
+}
+
+void ScanExecutor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain pending jobs even during shutdown: a scan in flight is
+      // waiting on their completion signals.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace wvm::core

@@ -1,0 +1,70 @@
+#ifndef OPENWVM_CORE_SCAN_EXECUTOR_H_
+#define OPENWVM_CORE_SCAN_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wvm::core {
+
+// How a partitioned scan merges per-partition row buffers into the single
+// consumer sink (which always runs on the scanning thread, never
+// concurrently).
+enum class ScanMergeMode {
+  // Feed partitions as they finish — fastest, row order nondeterministic.
+  kArrivalOrder,
+  // Feed partitions in heap order — deterministic, matches the serial
+  // scan's emission order exactly.
+  kHeapOrder,
+};
+
+// Engine-level knobs for the snapshot read path.
+struct ScanOptions {
+  // Worker threads a SnapshotSelect heap pass fans across. 1 = serial.
+  int parallelism = 1;
+  ScanMergeMode merge = ScanMergeMode::kArrivalOrder;
+};
+
+// A small persistent worker pool for partitioned heap scans. Workers are
+// created on demand (grow-only, up to the largest EnsureWorkers request)
+// and live until the executor is destroyed, so per-scan cost is one queue
+// push per partition — no thread spawn on the read path.
+//
+// The pool is deliberately dumb: it runs opaque jobs. Partitioning, result
+// buffering, merge order, and cancellation all live with the caller
+// (VnlTable), which owns the scan's shared state and must not return until
+// every job it submitted has signalled completion.
+class ScanExecutor {
+ public:
+  ScanExecutor() = default;
+  ~ScanExecutor();
+
+  ScanExecutor(const ScanExecutor&) = delete;
+  ScanExecutor& operator=(const ScanExecutor&) = delete;
+
+  // Grows the pool to at least `n` workers.
+  void EnsureWorkers(size_t n);
+
+  // Enqueues a job. Jobs may run in any order, concurrently with each
+  // other and with the submitting thread.
+  void Submit(std::function<void()> job);
+
+  size_t workers() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace wvm::core
+
+#endif  // OPENWVM_CORE_SCAN_EXECUTOR_H_

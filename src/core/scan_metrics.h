@@ -15,24 +15,33 @@ namespace wvm::core {
 struct ScanMetrics {
   uint64_t rows_scanned = 0;        // physical tuples visited
   uint64_t rows_reconstructed = 0;  // logical rows materialized (copied)
-  uint64_t rows_filtered = 0;       // rejected by pushed-down predicates
+  // Rejected by pushed-down predicates *before* materialization (the copy
+  // the streaming path saved). Rows rejected after reconstruction show up
+  // as rows_reconstructed - rows_emitted instead, so every scanned tuple
+  // lands in exactly one of {ignored, filtered, reconstructed} and
+  //   rows_scanned >= rows_filtered + rows_reconstructed
+  // holds for any scan, serial or partitioned.
+  uint64_t rows_filtered = 0;
   uint64_t rows_emitted = 0;        // rows handed to the sink/executor
   uint64_t bytes_copied = 0;        // declared attribute bytes reconstructed
   // Scans that buffered the whole snapshot into a vector before use.
   // SnapshotRows (a materializing API by contract) counts; the streaming
   // SnapshotSelect path must keep this at zero.
   uint64_t full_materializations = 0;
+  // Scans that ran the partitioned (multi-threaded) heap pass.
+  uint64_t parallel_scans = 0;
 
   std::string ToString() const {
     return StrPrintf(
         "scanned=%llu reconstructed=%llu filtered=%llu emitted=%llu "
-        "bytes_copied=%llu full_materializations=%llu",
+        "bytes_copied=%llu full_materializations=%llu parallel_scans=%llu",
         static_cast<unsigned long long>(rows_scanned),
         static_cast<unsigned long long>(rows_reconstructed),
         static_cast<unsigned long long>(rows_filtered),
         static_cast<unsigned long long>(rows_emitted),
         static_cast<unsigned long long>(bytes_copied),
-        static_cast<unsigned long long>(full_materializations));
+        static_cast<unsigned long long>(full_materializations),
+        static_cast<unsigned long long>(parallel_scans));
   }
 };
 
@@ -52,6 +61,9 @@ class ScanMetricsSink {
   void RecordFullMaterialization() {
     full_materializations_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordParallelScan() {
+    parallel_scans_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   ScanMetrics Snapshot() const {
     ScanMetrics m;
@@ -63,6 +75,7 @@ class ScanMetricsSink {
     m.bytes_copied = bytes_copied_.load(std::memory_order_relaxed);
     m.full_materializations =
         full_materializations_.load(std::memory_order_relaxed);
+    m.parallel_scans = parallel_scans_.load(std::memory_order_relaxed);
     return m;
   }
 
@@ -73,6 +86,7 @@ class ScanMetricsSink {
     rows_emitted_.store(0, std::memory_order_relaxed);
     bytes_copied_.store(0, std::memory_order_relaxed);
     full_materializations_.store(0, std::memory_order_relaxed);
+    parallel_scans_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -82,6 +96,7 @@ class ScanMetricsSink {
   std::atomic<uint64_t> rows_emitted_{0};
   std::atomic<uint64_t> bytes_copied_{0};
   std::atomic<uint64_t> full_materializations_{0};
+  std::atomic<uint64_t> parallel_scans_{0};
 };
 
 }  // namespace wvm::core

@@ -1,5 +1,7 @@
 #include "core/versioned_schema.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace wvm::core {
@@ -28,6 +30,10 @@ Result<VersionedSchema> VersionedSchema::Create(Schema logical, int n) {
   vs.n_ = n;
   vs.updatable_ = logical.UpdatableIndices();
   vs.logical_cols_ = logical.num_columns();
+  vs.updatable_ordinal_.assign(vs.logical_cols_, -1);
+  for (size_t u = 0; u < vs.updatable_.size(); ++u) {
+    vs.updatable_ordinal_[vs.updatable_[u]] = static_cast<int>(u);
+  }
 
   std::vector<Column> phys_cols = logical.columns();
   for (int slot = 0; slot < n - 1; ++slot) {
@@ -74,6 +80,37 @@ Result<Op> VersionedSchema::Operation(const Row& phys, int slot) const {
 int VersionedSchema::PopulatedSlots(const Row& phys) const {
   int m = 0;
   while (m < n_ - 1 && !SlotEmpty(phys, m)) ++m;
+  return m;
+}
+
+Vn VersionedSchema::RawTupleVn(const uint8_t* rec, int slot) const {
+  const size_t idx = TupleVnIndex(slot);
+  if (RecordColumnIsNull(rec, idx)) return kNoVn;
+  int64_t vn;
+  std::memcpy(&vn, rec + physical_.ColumnOffset(idx), 8);
+  return vn;
+}
+
+Result<Op> VersionedSchema::RawOperation(const uint8_t* rec,
+                                         int slot) const {
+  const size_t idx = OperationIndex(slot);
+  if (RecordColumnIsNull(rec, idx)) {
+    return Status::Corruption("NULL operation attribute");
+  }
+  // The operation column is exactly kOperationWidth (6) bytes and all
+  // three stored spellings fill it completely, so a fixed-width compare
+  // decodes without allocating.
+  static_assert(kOperationWidth == 6);
+  const uint8_t* slot_bytes = rec + physical_.ColumnOffset(idx);
+  if (std::memcmp(slot_bytes, "insert", 6) == 0) return Op::kInsert;
+  if (std::memcmp(slot_bytes, "update", 6) == 0) return Op::kUpdate;
+  if (std::memcmp(slot_bytes, "delete", 6) == 0) return Op::kDelete;
+  return Status::InvalidArgument("unknown operation value in record");
+}
+
+int VersionedSchema::RawPopulatedSlots(const uint8_t* rec) const {
+  int m = 0;
+  while (m < n_ - 1 && !RawSlotEmpty(rec, m)) ++m;
   return m;
 }
 
@@ -207,6 +244,56 @@ Row MaterializeVersion(const VersionedSchema& vs, const Row& phys,
   WVM_CHECK(res.outcome == ReadOutcome::kRow);
   return res.slot < 0 ? vs.CurrentLogical(phys)
                       : vs.PreUpdateLogical(phys, res.slot);
+}
+
+VersionResolution ResolveVersionRaw(const VersionedSchema& vs,
+                                    const uint8_t* rec, Vn session_vn) {
+  const int m = vs.RawPopulatedSlots(rec);
+  WVM_CHECK_MSG(m >= 1, "physical tuple with no version slots");
+
+  // Case 1 (§3.2 / §5): the session saw this modification commit.
+  if (session_vn >= vs.RawTupleVn(rec, 0)) {
+    Result<Op> op = vs.RawOperation(rec, 0);
+    WVM_CHECK(op.ok());
+    if (op.value() == Op::kDelete) return {ReadOutcome::kIgnore, -1};
+    return {ReadOutcome::kRow, -1};
+  }
+
+  int j = 0;
+  while (j + 1 < m && vs.RawTupleVn(rec, j + 1) > session_vn) ++j;
+
+  // Case 3: see ResolveVersion — the raw twin mirrors its case analysis
+  // exactly so the two paths are interchangeable.
+  if (j == m - 1 && session_vn < vs.RawTupleVn(rec, m - 1) - 1) {
+    if (m == vs.n() - 1) return {ReadOutcome::kExpired, j};
+    Result<Op> oldest_op = vs.RawOperation(rec, m - 1);
+    WVM_CHECK(oldest_op.ok());
+    if (oldest_op.value() != Op::kInsert) return {ReadOutcome::kExpired, j};
+  }
+
+  // Case 2: read the pre-update version of slot j (Table 1, second row).
+  Result<Op> op = vs.RawOperation(rec, j);
+  WVM_CHECK(op.ok());
+  if (op.value() == Op::kInsert) return {ReadOutcome::kIgnore, j};
+  return {ReadOutcome::kRow, j};
+}
+
+Row MaterializeVersionRaw(const VersionedSchema& vs, const uint8_t* rec,
+                          const VersionResolution& res) {
+  WVM_CHECK(res.outcome == ReadOutcome::kRow);
+  const Schema& phys = vs.physical();
+  const size_t logical_cols = vs.logical().num_columns();
+  Row out;
+  out.reserve(logical_cols);
+  for (size_t i = 0; i < logical_cols; ++i) {
+    size_t src = i;
+    if (res.slot >= 0) {
+      const int u = vs.UpdatableOrdinal(i);
+      if (u >= 0) src = vs.PreIndex(static_cast<size_t>(u), res.slot);
+    }
+    out.push_back(DeserializeColumn(phys, rec, src));
+  }
+  return out;
 }
 
 ReadOutcome ReadVersion(const VersionedSchema& vs, const Row& phys,

@@ -48,6 +48,23 @@ class VersionedSchema {
   // Number of populated version slots (contiguous from slot 0).
   int PopulatedSlots(const Row& phys) const;
 
+  // --- Raw-record accessors ---------------------------------------------
+  // Byte-level equivalents of the Row accessors above, operating on a
+  // serialized physical record. The parallel scan's per-tuple hot loop
+  // classifies tuples on raw bytes and defers every Value construction
+  // until a version is known to be both visible and unfiltered.
+
+  Vn RawTupleVn(const uint8_t* rec, int slot) const;
+  Result<Op> RawOperation(const uint8_t* rec, int slot) const;
+  bool RawSlotEmpty(const uint8_t* rec, int slot) const {
+    return RawTupleVn(rec, slot) == kNoVn;
+  }
+  int RawPopulatedSlots(const uint8_t* rec) const;
+
+  // Ordinal of logical column `i` within updatable() (its pre-column
+  // group position), or -1 when the column is not updatable.
+  int UpdatableOrdinal(size_t i) const { return updatable_ordinal_[i]; }
+
   void SetSlot(Row* phys, int slot, Vn vn, Op op) const;
   void ClearSlot(Row* phys, int slot) const;
   // PV_slot <- CV for every updatable attribute.
@@ -96,6 +113,7 @@ class VersionedSchema {
   Schema physical_;
   int n_ = 2;
   std::vector<size_t> updatable_;  // logical indices
+  std::vector<int> updatable_ordinal_;  // logical index -> ordinal or -1
   size_t logical_cols_ = 0;
 };
 
@@ -117,6 +135,17 @@ struct VersionResolution {
 };
 VersionResolution ResolveVersion(const VersionedSchema& vs, const Row& phys,
                                  Vn session_vn);
+
+// Byte-level twin of ResolveVersion: identical case analysis, run on a
+// serialized physical record without constructing any Value.
+VersionResolution ResolveVersionRaw(const VersionedSchema& vs,
+                                    const uint8_t* rec, Vn session_vn);
+
+// Byte-level twin of MaterializeVersion: deserializes only the logical
+// columns the resolved version actually projects (current values, with the
+// resolved slot's pre-update values substituted for updatable attributes).
+Row MaterializeVersionRaw(const VersionedSchema& vs, const uint8_t* rec,
+                          const VersionResolution& res);
 
 // Materializes the logical row a resolution refers to. Only valid when
 // `res.outcome == kRow`.

@@ -23,7 +23,7 @@ Result<VnlTable*> VnlEngine::CreateTable(const std::string& name,
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   auto table = std::unique_ptr<VnlTable>(new VnlTable(
-      name, std::move(vschema), pool_, &sessions_, &scan_metrics_));
+      name, std::move(vschema), pool_, &sessions_, &scan_metrics_, this));
   VnlTable* raw = table.get();
   tables_[key] = std::move(table);
   return raw;
@@ -36,6 +36,25 @@ Result<VnlTable*> VnlEngine::GetTable(const std::string& name) const {
     return Status::NotFound("no table named '" + name + "'");
   }
   return it->second.get();
+}
+
+void VnlEngine::SetScanOptions(const ScanOptions& opts) {
+  std::lock_guard lock(scan_mu_);
+  scan_options_ = opts;
+  if (scan_options_.parallelism < 1) scan_options_.parallelism = 1;
+}
+
+ScanOptions VnlEngine::scan_options() const {
+  std::lock_guard lock(scan_mu_);
+  return scan_options_;
+}
+
+ScanExecutor* VnlEngine::scan_executor() {
+  std::lock_guard lock(scan_mu_);
+  if (scan_executor_ == nullptr) {
+    scan_executor_ = std::make_unique<ScanExecutor>();
+  }
+  return scan_executor_.get();
 }
 
 Result<MaintenanceTxn*> VnlEngine::BeginMaintenance() {

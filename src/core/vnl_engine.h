@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/scan_executor.h"
 #include "core/session.h"
 #include "core/version_relation.h"
 #include "core/vnl_table.h"
@@ -85,6 +86,18 @@ class VnlEngine {
   // failures surface as a non-OK status.
   Result<GcStats> CollectGarbage();
 
+  // --- Scan configuration -----------------------------------------------------
+
+  // Knobs for SnapshotSelect heap passes. parallelism > 1 partitions the
+  // scan across a shared worker pool (created lazily, reused by every
+  // scan); 1 keeps the serial streaming pass. Options are read once at
+  // the start of each scan — changing them never affects a scan already
+  // in flight.
+  void SetScanOptions(const ScanOptions& opts);
+  ScanOptions scan_options() const;
+  // The engine's shared scan worker pool (created on first use).
+  ScanExecutor* scan_executor();
+
   // --- Observability ---------------------------------------------------------
 
   // Engine-wide snapshot-read counters (aggregated over every table).
@@ -108,6 +121,10 @@ class VnlEngine {
   mutable std::mutex mu_;  // guards tables_ and active_txn_
   std::map<std::string, std::unique_ptr<VnlTable>> tables_;
   std::unique_ptr<MaintenanceTxn> active_txn_;
+
+  mutable std::mutex scan_mu_;  // guards scan_options_ and scan_executor_
+  ScanOptions scan_options_;
+  std::unique_ptr<ScanExecutor> scan_executor_;
 };
 
 }  // namespace wvm::core

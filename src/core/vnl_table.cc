@@ -1,5 +1,11 @@
 #include "core/vnl_table.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/vnl_engine.h"
@@ -9,12 +15,13 @@ namespace wvm::core {
 
 VnlTable::VnlTable(std::string name, VersionedSchema vschema,
                    BufferPool* pool, SessionManager* sessions,
-                   ScanMetricsSink* metrics)
+                   ScanMetricsSink* metrics, VnlEngine* engine)
     : name_(std::move(name)),
       vschema_(std::move(vschema)),
       phys_(std::make_unique<Table>(name_, vschema_.physical(), pool)),
       sessions_(sessions),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      engine_(engine) {}
 
 Status VnlTable::CheckTxn(const MaintenanceTxn* txn) const {
   if (txn == nullptr || !txn->active()) {
@@ -355,10 +362,9 @@ Status VnlTable::StreamSnapshot(
         status = keep.status();
         return false;
       }
-      if (!keep.value()) {
-        ++filtered;
-        return true;
-      }
+      // Post-materialization rejections are not "filtered" — the copy was
+      // already paid; they show up as reconstructed - emitted.
+      if (!keep.value()) return true;
     }
     ++emitted;
     return sink(out);
@@ -366,6 +372,367 @@ Status VnlTable::StreamSnapshot(
   if (metrics_ != nullptr) {
     metrics_->RecordScan(scanned, reconstructed, filtered, emitted,
                          reconstructed * logical_bytes);
+  }
+  return status;
+}
+
+namespace {
+
+// A WHERE conjunct of the shape `column cmp literal-or-param` over a
+// version-invariant int or string column, lowered to a direct comparison
+// on the serialized record bytes. This is the parallel workers' fast
+// path: a rejected tuple costs one memcmp / integer load, no Value, no
+// Row. Conjuncts that don't fit the shape (arithmetic, IS NULL, doubles,
+// dates, NULL operands) fall back to generic evaluation on a deserialized
+// row, with identical semantics.
+struct CompiledPredicate {
+  enum class Kind { kInt, kString };
+  Kind kind = Kind::kInt;
+  size_t col = 0;      // physical column index (== logical: prefix)
+  size_t offset = 0;   // byte offset of the value slot in the record
+  bool is_int32 = false;
+  uint16_t width = 0;  // string slot width
+  sql::BinaryOp op = sql::BinaryOp::kEq;
+  int64_t rhs_int = 0;
+  std::string rhs_str;    // zero-padded to `width`
+  bool rhs_longer = false;  // literal exceeded the column width
+
+  bool Eval(const uint8_t* rec) const {
+    // SQL ternary logic: NULL cmp anything is NULL, which rejects.
+    if (RecordColumnIsNull(rec, col)) return false;
+    int cmp;
+    if (kind == Kind::kInt) {
+      int64_t v;
+      if (is_int32) {
+        int32_t x;
+        std::memcpy(&x, rec + offset, 4);
+        v = x;
+      } else {
+        std::memcpy(&v, rec + offset, 8);
+      }
+      cmp = v < rhs_int ? -1 : (v > rhs_int ? 1 : 0);
+    } else {
+      // Both sides are zero-padded fixed-width images, so memcmp over the
+      // slot matches std::string comparison of the decoded values. A
+      // literal longer than the width can only tie on the prefix, and the
+      // decoded value is then strictly smaller.
+      cmp = std::memcmp(rec + offset, rhs_str.data(), width);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      if (cmp == 0 && rhs_longer) cmp = -1;
+    }
+    switch (op) {
+      case sql::BinaryOp::kEq: return cmp == 0;
+      case sql::BinaryOp::kNe: return cmp != 0;
+      case sql::BinaryOp::kLt: return cmp < 0;
+      case sql::BinaryOp::kLe: return cmp <= 0;
+      case sql::BinaryOp::kGt: return cmp > 0;
+      case sql::BinaryOp::kGe: return cmp >= 0;
+      default: return false;
+    }
+  }
+};
+
+bool IsComparisonOp(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+    case sql::BinaryOp::kNe:
+    case sql::BinaryOp::kLt:
+    case sql::BinaryOp::kLe:
+    case sql::BinaryOp::kGt:
+    case sql::BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sql::BinaryOp MirrorOp(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kLt: return sql::BinaryOp::kGt;
+    case sql::BinaryOp::kLe: return sql::BinaryOp::kGe;
+    case sql::BinaryOp::kGt: return sql::BinaryOp::kLt;
+    case sql::BinaryOp::kGe: return sql::BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool TryCompilePredicate(const sql::Expr& e, const Schema& logical,
+                         const Schema& physical,
+                         const query::ParamMap& params,
+                         CompiledPredicate* out) {
+  if (e.kind != sql::ExprKind::kBinary || !IsComparisonOp(e.binary_op)) {
+    return false;
+  }
+  const sql::Expr* lhs = e.child0.get();
+  const sql::Expr* rhs = e.child1.get();
+  sql::BinaryOp op = e.binary_op;
+  auto is_const = [](const sql::Expr* x) {
+    return x->kind == sql::ExprKind::kLiteral ||
+           x->kind == sql::ExprKind::kParam;
+  };
+  if (lhs->kind != sql::ExprKind::kColumnRef || !is_const(rhs)) {
+    if (rhs->kind == sql::ExprKind::kColumnRef && is_const(lhs)) {
+      std::swap(lhs, rhs);
+      op = MirrorOp(op);
+    } else {
+      return false;
+    }
+  }
+  Result<size_t> idx = logical.IndexOf(lhs->column);
+  if (!idx.ok()) return false;
+  Value v;
+  if (rhs->kind == sql::ExprKind::kLiteral) {
+    v = rhs->literal;
+  } else {
+    auto it = params.find(rhs->param);
+    if (it == params.end()) return false;  // generic path reports the error
+    v = it->second;
+  }
+  if (v.is_null()) return false;
+
+  const Column& col = logical.column(idx.value());
+  switch (col.type) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      if (v.type() != TypeId::kInt32 && v.type() != TypeId::kInt64) {
+        return false;  // double comparand: keep CompareValues' semantics
+      }
+      out->kind = CompiledPredicate::Kind::kInt;
+      out->is_int32 = col.type == TypeId::kInt32;
+      out->rhs_int = v.AsInt64();
+      break;
+    case TypeId::kString: {
+      if (v.type() != TypeId::kString) return false;
+      const std::string& s = v.AsString();
+      out->kind = CompiledPredicate::Kind::kString;
+      out->width = col.width;
+      out->rhs_longer = s.size() > col.width;
+      out->rhs_str = s.substr(0, std::min<size_t>(s.size(), col.width));
+      out->rhs_str.resize(col.width, '\0');
+      break;
+    }
+    default:
+      return false;  // bool/date/double: generic evaluation
+  }
+  out->col = idx.value();
+  out->offset = physical.ColumnOffset(idx.value());
+  out->op = op;
+  return true;
+}
+
+// Everything the partitions of one parallel scan share. Heap-allocated so
+// a worker that signals completion a beat after the scanning thread moves
+// on cannot touch freed memory.
+struct ParallelScanState {
+  struct Partition {
+    std::vector<Row> rows;
+    uint64_t scanned = 0;
+    uint64_t reconstructed = 0;
+    uint64_t filtered = 0;
+    SnapshotScanStats stats;
+    Status status;
+    bool done = false;  // guarded by mu
+  };
+
+  std::vector<Partition> partitions;
+  std::atomic<bool> cancel{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> completed;  // arrival order, guarded by mu
+
+  void MarkDone(int p) {
+    {
+      std::lock_guard lock(mu);
+      partitions[p].done = true;
+      completed.push_back(p);
+      // Notify under the lock: after unlocking, the worker never touches
+      // this state again, so the consumer can safely tear it down.
+      cv.notify_one();
+    }
+  }
+};
+
+}  // namespace
+
+Status VnlTable::StreamSnapshotParallel(
+    const ReaderSession& session,
+    const std::vector<const sql::Expr*>& invariant_filter,
+    const std::vector<const sql::Expr*>& reconstructed_filter,
+    const query::ParamMap& params,
+    const std::function<bool(const Row&)>& sink,
+    SnapshotScanStats* stats, const ScanOptions& opts) const {
+  ScanExecutor* exec =
+      engine_ != nullptr ? engine_->scan_executor() : nullptr;
+  const std::vector<PageId> pages = phys_->heap()->PageIds();
+  const int nparts = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(opts.parallelism, 1)),
+                       pages.size()));
+  if (exec == nullptr || nparts <= 1) {
+    return StreamSnapshot(session, invariant_filter, reconstructed_filter,
+                          params, sink, stats);
+  }
+
+  // Lower eligible invariant conjuncts to byte comparisons once per scan;
+  // the remainder runs generically on a deserialized physical row.
+  const Schema& logical = vschema_.logical();
+  const Schema& physical = vschema_.physical();
+  std::vector<CompiledPredicate> compiled;
+  std::vector<const sql::Expr*> generic_invariant;
+  for (const sql::Expr* e : invariant_filter) {
+    CompiledPredicate p;
+    if (TryCompilePredicate(*e, logical, physical, params, &p)) {
+      compiled.push_back(std::move(p));
+    } else {
+      generic_invariant.push_back(e);
+    }
+  }
+
+  auto state = std::make_shared<ParallelScanState>();
+  state->partitions.resize(nparts);
+  exec->EnsureWorkers(static_cast<size_t>(nparts));
+
+  const Vn session_vn = session.session_vn;
+  const TableHeap* heap = phys_->heap();
+  // Balanced proportional split: partition p gets pages [p*N/k, (p+1)*N/k).
+  // Ranges are contiguous, cover every page exactly once, and are all
+  // non-empty because nparts <= pages.size().
+  for (int p = 0; p < nparts; ++p) {
+    const size_t begin =
+        static_cast<size_t>(p) * pages.size() / static_cast<size_t>(nparts);
+    const size_t end = (static_cast<size_t>(p) + 1) * pages.size() /
+                       static_cast<size_t>(nparts);
+    std::vector<PageId> slice(pages.begin() + begin, pages.begin() + end);
+    // The worker references caller-owned filter vectors and params; the
+    // consumer loop below never returns before every partition signalled
+    // completion, so those outlive the job.
+    exec->Submit([this, state, p, slice = std::move(slice), heap,
+                  session_vn, &compiled, &generic_invariant,
+                  &reconstructed_filter, &params, &logical]() {
+      ParallelScanState::Partition& part = state->partitions[p];
+      heap->ScanPages(slice, [&](Rid, const uint8_t* rec) {
+        if (state->cancel.load(std::memory_order_relaxed)) return false;
+        ++part.scanned;
+        const VersionResolution res =
+            ResolveVersionRaw(vschema_, rec, session_vn);
+        switch (res.outcome) {
+          case ReadOutcome::kIgnore:
+            ++part.stats.ignored;
+            return true;
+          case ReadOutcome::kExpired:
+            part.status = Status::SessionExpired(StrPrintf(
+                "session at VN %lld hit a tuple modified more than %d "
+                "maintenance transactions ago",
+                static_cast<long long>(session_vn), vschema_.n() - 1));
+            state->cancel.store(true, std::memory_order_relaxed);
+            return false;
+          case ReadOutcome::kRow:
+            break;
+        }
+        ++(res.slot < 0 ? part.stats.current_reads
+                        : part.stats.pre_update_reads);
+        for (const CompiledPredicate& cp : compiled) {
+          if (!cp.Eval(rec)) {
+            ++part.filtered;
+            return true;
+          }
+        }
+        if (!generic_invariant.empty()) {
+          const Row phys_row = DeserializeRow(vschema_.physical(), rec);
+          for (const sql::Expr* e : generic_invariant) {
+            Result<bool> keep =
+                query::EvalPredicate(*e, logical, phys_row, params);
+            if (!keep.ok()) {
+              part.status = keep.status();
+              state->cancel.store(true, std::memory_order_relaxed);
+              return false;
+            }
+            if (!keep.value()) {
+              ++part.filtered;
+              return true;
+            }
+          }
+        }
+        Row out = MaterializeVersionRaw(vschema_, rec, res);
+        ++part.reconstructed;
+        for (const sql::Expr* e : reconstructed_filter) {
+          Result<bool> keep =
+              query::EvalPredicate(*e, logical, out, params);
+          if (!keep.ok()) {
+            part.status = keep.status();
+            state->cancel.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          if (!keep.value()) return true;
+        }
+        part.rows.push_back(std::move(out));
+        return true;
+      });
+      state->MarkDone(p);
+    });
+  }
+
+  // Single-threaded consumption: the sink only ever runs here, on the
+  // scanning thread, whichever merge mode is active.
+  uint64_t emitted = 0;
+  bool feeding = true;
+  auto feed = [&](int p) {
+    ParallelScanState::Partition& part = state->partitions[p];
+    if (!feeding || !part.status.ok()) {
+      feeding = feeding && part.status.ok();
+      return;
+    }
+    for (Row& row : part.rows) {
+      ++emitted;
+      if (!sink(row)) {
+        feeding = false;
+        state->cancel.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    part.rows.clear();
+  };
+
+  if (opts.merge == ScanMergeMode::kHeapOrder) {
+    for (int p = 0; p < nparts; ++p) {
+      std::unique_lock lock(state->mu);
+      state->cv.wait(lock, [&] { return state->partitions[p].done; });
+      lock.unlock();
+      feed(p);
+    }
+  } else {
+    for (int consumed = 0; consumed < nparts; ++consumed) {
+      int p;
+      {
+        std::unique_lock lock(state->mu);
+        state->cv.wait(lock, [&] { return !state->completed.empty(); });
+        p = state->completed.front();
+        state->completed.pop_front();
+      }
+      feed(p);
+    }
+  }
+
+  // All partitions are done: aggregate counters and publish once.
+  uint64_t scanned = 0;
+  uint64_t reconstructed = 0;
+  uint64_t filtered = 0;
+  Status status;
+  for (const ParallelScanState::Partition& part : state->partitions) {
+    scanned += part.scanned;
+    reconstructed += part.reconstructed;
+    filtered += part.filtered;
+    if (stats != nullptr) {
+      stats->current_reads += part.stats.current_reads;
+      stats->pre_update_reads += part.stats.pre_update_reads;
+      stats->ignored += part.stats.ignored;
+    }
+    if (status.ok() && !part.status.ok()) status = part.status;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->RecordScan(scanned, reconstructed, filtered, emitted,
+                         reconstructed * logical.AttributeBytes());
+    metrics_->RecordParallelScan();
   }
   return status;
 }
@@ -463,6 +830,12 @@ Result<query::QueryResult> VnlTable::SnapshotSelect(
     return true;
   };
   source.scan = [&](const std::function<bool(const Row&)>& sink) {
+    const ScanOptions opts =
+        engine_ != nullptr ? engine_->scan_options() : ScanOptions{};
+    if (opts.parallelism > 1) {
+      return StreamSnapshotParallel(session, invariant, reconstructed,
+                                    params, sink, stats, opts);
+    }
     return StreamSnapshot(session, invariant, reconstructed, params, sink,
                           stats);
   };

@@ -12,6 +12,7 @@
 #include "catalog/table.h"
 #include "common/result.h"
 #include "core/decision_tables.h"
+#include "core/scan_executor.h"
 #include "core/scan_metrics.h"
 #include "core/session.h"
 #include "core/version_relation.h"
@@ -138,6 +139,14 @@ class VnlTable {
   // into the scan; conjuncts over version-invariant (non-updatable)
   // columns are evaluated before the logical row is even materialized, so
   // filtered-out tuples cost zero Row copies.
+  //
+  // When the engine's ScanOptions request parallelism > 1, the heap pass
+  // is partitioned into contiguous page ranges and fanned across the
+  // engine's ScanExecutor: each worker classifies tuples on raw record
+  // bytes (ResolveVersionRaw), evaluates compiled invariant predicates on
+  // serialized attributes, and materializes only surviving versions; the
+  // executor sink always runs on the calling thread, fed per-partition in
+  // heap order or arrival order per ScanOptions::merge.
   Result<query::QueryResult> SnapshotSelect(
       const ReaderSession& session, const sql::SelectStmt& stmt,
       const query::ParamMap& params = {},
@@ -152,7 +161,8 @@ class VnlTable {
   friend class VnlEngine;
 
   VnlTable(std::string name, VersionedSchema vschema, BufferPool* pool,
-           SessionManager* sessions, ScanMetricsSink* metrics);
+           SessionManager* sessions, ScanMetricsSink* metrics,
+           VnlEngine* engine);
 
   Status CheckTxn(const MaintenanceTxn* txn) const;
 
@@ -183,6 +193,18 @@ class VnlTable {
       const std::function<bool(const Row&)>& sink,
       SnapshotScanStats* stats) const;
 
+  // Partitioned twin of StreamSnapshot: same contract (single sink, same
+  // counters, same expiration semantics), executed as one raw-byte pass
+  // per contiguous page range on `opts.parallelism` pool workers. Falls
+  // back to the serial pass when the table is too small to split.
+  Status StreamSnapshotParallel(
+      const ReaderSession& session,
+      const std::vector<const sql::Expr*>& invariant_filter,
+      const std::vector<const sql::Expr*>& reconstructed_filter,
+      const query::ParamMap& params,
+      const std::function<bool(const Row&)>& sink,
+      SnapshotScanStats* stats, const ScanOptions& opts) const;
+
   std::optional<Rid> IndexLookup(const Row& key) const;
   void IndexInsert(const Row& key, Rid rid);
   void IndexErase(const Row& key);
@@ -204,6 +226,7 @@ class VnlTable {
   std::unique_ptr<Table> phys_;
   SessionManager* sessions_;
   ScanMetricsSink* metrics_;
+  VnlEngine* engine_;  // scan options + shared ScanExecutor; may be null
 
   mutable std::mutex index_mu_;
   std::unordered_map<Row, Rid, RowHash, RowEq> key_index_;

@@ -88,10 +88,20 @@ Result<QueryResult> ExecuteAggregate(
     const sql::SelectStmt& stmt, const Schema& schema,
     const RowSource& source, const std::vector<const sql::Expr*>& where,
     const ParamMap& params) {
+  // Resolve group-by key columns.
+  std::vector<size_t> key_cols;
+  for (const std::string& g : stmt.group_by) {
+    WVM_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(g));
+    key_cols.push_back(idx);
+  }
+
   // Classify select items: group-by column refs vs aggregate calls.
+  // Group items are addressed by their position inside the group key, so
+  // output depends only on the key — never on which of a group's rows
+  // happened to arrive first (a parallel scan's arrival order varies).
   struct ItemPlan {
     bool is_aggregate;
-    size_t group_col = 0;        // input column index for group items
+    size_t key_pos = 0;          // position within the group key
     const sql::Expr* agg = nullptr;
   };
   std::vector<ItemPlan> plans;
@@ -109,28 +119,19 @@ Result<QueryResult> ExecuteAggregate(
       return Status::Unimplemented(
           "non-aggregate select items must be plain columns when grouping");
     }
-    bool in_group_by = false;
-    for (const std::string& g : stmt.group_by) {
-      if (EqualsIgnoreCaseAscii(g, e.column)) in_group_by = true;
+    size_t key_pos = stmt.group_by.size();
+    for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+      if (EqualsIgnoreCaseAscii(stmt.group_by[g], e.column)) key_pos = g;
     }
-    if (!in_group_by) {
+    if (key_pos == stmt.group_by.size()) {
       return Status::InvalidArgument("column '" + e.column +
                                      "' is neither aggregated nor grouped");
     }
-    WVM_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(e.column));
-    plans.push_back({false, idx, nullptr});
-  }
-
-  // Resolve group-by key columns.
-  std::vector<size_t> key_cols;
-  for (const std::string& g : stmt.group_by) {
-    WVM_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(g));
-    key_cols.push_back(idx);
+    plans.push_back({false, key_pos, nullptr});
   }
 
   // Group rows. std::map keeps keys sorted for deterministic output.
   std::map<Row, std::vector<AggState>, RowLess> groups;
-  std::map<Row, Row, RowLess> group_first_row;
   Status scan_status;
   source([&](const Row& row) {
     Result<bool> keep = KeepRow(where, schema, row, params);
@@ -144,10 +145,7 @@ Result<QueryResult> ExecuteAggregate(
     for (size_t c : key_cols) key.push_back(row[c]);
 
     auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      it->second.resize(plans.size());
-      group_first_row.emplace(key, row);
-    }
+    if (inserted) it->second.resize(plans.size());
     for (size_t i = 0; i < plans.size(); ++i) {
       if (!plans[i].is_aggregate) continue;
       const sql::Expr& agg = *plans[i].agg;
@@ -187,14 +185,13 @@ Result<QueryResult> ExecuteAggregate(
   }
 
   for (const auto& [key, states] : groups) {
-    const Row& sample = group_first_row.at(key);
     Row out;
     for (size_t i = 0; i < plans.size(); ++i) {
       if (plans[i].is_aggregate) {
         WVM_ASSIGN_OR_RETURN(Value v, states[i].Finalize(plans[i].agg->agg));
         out.push_back(std::move(v));
       } else {
-        out.push_back(sample[plans[i].group_col]);
+        out.push_back(key[plans[i].key_pos]);
       }
     }
     result.rows.push_back(std::move(out));

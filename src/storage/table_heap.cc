@@ -50,6 +50,7 @@ TableHeap::TableHeap(BufferPool* pool, size_t record_size)
   InitHeapPage(p->data(), record_size_, capacity_);
   p->WUnlatch();
   first_page_id_ = last_page_id_ = p->page_id();
+  page_ids_.push_back(p->page_id());
   pages_with_space_.insert(p->page_id());
   num_pages_.store(1);
   pool_->Unpin(p, /*dirty=*/true);
@@ -75,6 +76,7 @@ Result<Page*> TableHeap::PageForInsert(PageId* page_id) {
   pool_->Unpin(tail, /*dirty=*/true);
 
   last_page_id_ = fresh_id;
+  page_ids_.push_back(fresh_id);
   pages_with_space_.insert(fresh_id);
   num_pages_.fetch_add(1, std::memory_order_relaxed);
   *page_id = fresh_id;
@@ -191,6 +193,34 @@ void TableHeap::Scan(
     pool_->Unpin(page, /*dirty=*/false);
     if (!keep_going) return;
     pid = next;
+  }
+}
+
+std::vector<PageId> TableHeap::PageIds() const {
+  std::lock_guard lock(mu_);
+  return page_ids_;
+}
+
+void TableHeap::ScanPages(
+    const std::vector<PageId>& pages,
+    const std::function<bool(Rid, const uint8_t*)>& fn) const {
+  for (PageId pid : pages) {
+    Result<Page*> fetched = pool_->FetchPage(pid);
+    WVM_CHECK_MSG(fetched.ok(), "scan fetch failed");
+    Page* page = fetched.value();
+    page->RLatch();
+    const uint8_t* flags = SlotFlags(page->data());
+    bool keep_going = true;
+    for (uint16_t slot = 0; slot < capacity_ && keep_going; ++slot) {
+      if (!flags[slot]) continue;
+      keep_going = fn(
+          Rid{pid, slot},
+          reinterpret_cast<const uint8_t*>(
+              RecordAt(page->data(), capacity_, record_size_, slot)));
+    }
+    page->RUnlatch();
+    pool_->Unpin(page, /*dirty=*/false);
+    if (!keep_going) return;
   }
 }
 

@@ -53,6 +53,21 @@ class TableHeap {
   void Scan(
       const std::function<bool(Rid, const uint8_t*)>& fn) const;
 
+  // Snapshot of the page chain in heap order, served from an in-memory
+  // mirror of the chain (no page I/O). Pages appended after the call are
+  // not included — for versioned tables that is fine, because a tuple
+  // inserted mid-scan is invisible at any already-pinned session VN.
+  std::vector<PageId> PageIds() const;
+
+  // Scan restricted to an explicit page list (a contiguous sub-range of a
+  // PageIds() snapshot). Same callback contract as Scan(). Safe to call
+  // from multiple threads concurrently with disjoint ranges: records are
+  // fixed-size and updated strictly in place, and each page is visited
+  // under its shared latch.
+  void ScanPages(
+      const std::vector<PageId>& pages,
+      const std::function<bool(Rid, const uint8_t*)>& fn) const;
+
   // Number of live records.
   uint64_t live_records() const {
     return live_records_.load(std::memory_order_relaxed);
@@ -75,9 +90,10 @@ class TableHeap {
   const size_t record_size_;
   const uint16_t capacity_;
 
-  mutable std::mutex mu_;  // guards chain tail + free set
+  mutable std::mutex mu_;  // guards chain tail + free set + id mirror
   PageId first_page_id_ = kInvalidPageId;
   PageId last_page_id_ = kInvalidPageId;
+  std::vector<PageId> page_ids_;  // chain in heap order
   std::unordered_set<PageId> pages_with_space_;
 
   std::atomic<uint64_t> live_records_{0};
