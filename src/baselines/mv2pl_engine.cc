@@ -123,14 +123,14 @@ Result<std::optional<Row>> Mv2plEngine::VersionAt(const Row& main,
 }
 
 Result<uint64_t> Mv2plEngine::OpenReader() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = next_reader_++;
   readers_[id] = committed_vn_;
   return id;
 }
 
 Status Mv2plEngine::CloseReader(uint64_t reader) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (readers_.erase(reader) == 0) return Status::NotFound("unknown reader");
   return Status::OK();
 }
@@ -138,7 +138,7 @@ Status Mv2plEngine::CloseReader(uint64_t reader) {
 Result<std::vector<Row>> Mv2plEngine::ReadAll(uint64_t reader) {
   int64_t ts;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = readers_.find(reader);
     if (it == readers_.end()) return Status::NotFound("unknown reader");
     ts = it->second;
@@ -161,7 +161,7 @@ Result<std::optional<Row>> Mv2plEngine::ReadKey(uint64_t reader,
   int64_t ts;
   Rid rid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = readers_.find(reader);
     if (it == readers_.end()) return Status::NotFound("unknown reader");
     ts = it->second;
@@ -180,7 +180,7 @@ Result<std::optional<Row>> Mv2plEngine::ReadKey(uint64_t reader,
 }
 
 Status Mv2plEngine::BeginMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (writer_active_) {
     return Status::FailedPrecondition("maintenance already active");
   }
@@ -190,7 +190,7 @@ Status Mv2plEngine::BeginMaintenance() {
 }
 
 Result<std::optional<Row>> Mv2plEngine::MaintReadKey(const Row& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -244,7 +244,7 @@ Result<Row> Mv2plEngine::PushVersion(Row main) {
 }
 
 Status Mv2plEngine::MaintInsert(const Row& row) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -271,7 +271,7 @@ Status Mv2plEngine::MaintInsert(const Row& row) {
 }
 
 Status Mv2plEngine::MaintUpdate(const Row& key, const Row& row) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -288,7 +288,7 @@ Status Mv2plEngine::MaintUpdate(const Row& key, const Row& row) {
 }
 
 Status Mv2plEngine::MaintDelete(const Row& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -305,7 +305,7 @@ Status Mv2plEngine::MaintDelete(const Row& key) {
 }
 
 Status Mv2plEngine::CommitMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -315,7 +315,7 @@ Status Mv2plEngine::CommitMaintenance() {
 }
 
 size_t Mv2plEngine::CollectPoolGarbage() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   int64_t min_ts = committed_vn_;
   for (const auto& [id, ts] : readers_) min_ts = std::min(min_ts, ts);
 

@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "baselines/warehouse_engine.h"
 #include "catalog/table.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wvm::baselines {
 
@@ -104,13 +105,14 @@ class Mv2plEngine : public WarehouseEngine {
   std::unique_ptr<Table> main_table_;
   std::unique_ptr<Table> pool_table_;
 
-  mutable std::mutex mu_;
-  int64_t committed_vn_ = 0;
-  bool writer_active_ = false;
-  int64_t writer_vn_ = 0;
-  uint64_t next_reader_ = 1;
-  std::unordered_map<uint64_t, int64_t> readers_;  // id -> timestamp
-  std::unordered_map<Row, Rid, RowHash, RowEq> index_;
+  mutable Mutex mu_;
+  int64_t committed_vn_ GUARDED_BY(mu_) = 0;
+  bool writer_active_ GUARDED_BY(mu_) = false;
+  int64_t writer_vn_ GUARDED_BY(mu_) = 0;
+  uint64_t next_reader_ GUARDED_BY(mu_) = 1;
+  // id -> timestamp
+  std::unordered_map<uint64_t, int64_t> readers_ GUARDED_BY(mu_);
+  std::unordered_map<Row, Rid, RowHash, RowEq> index_ GUARDED_BY(mu_);
 
   mutable std::atomic<uint64_t> pool_version_reads_{0};
 };

@@ -7,8 +7,11 @@ OfflineEngine::OfflineEngine(BufferPool* pool, Schema logical)
       table_(std::make_unique<Table>("offline", schema_, pool)) {}
 
 Result<uint64_t> OfflineEngine::OpenReader() {
-  std::unique_lock lock(gate_mu_);
-  gate_cv_.wait(lock, [&] { return !writer_active_ && !writer_waiting_; });
+  MutexLock lock(gate_mu_);
+  gate_cv_.Wait(gate_mu_, [&] {
+    gate_mu_.AssertHeld();  // predicate runs under the wait's lock
+    return !writer_active_ && !writer_waiting_;
+  });
   ++active_readers_;
   const uint64_t id = next_reader_++;
   readers_[id] = true;
@@ -16,18 +19,18 @@ Result<uint64_t> OfflineEngine::OpenReader() {
 }
 
 Status OfflineEngine::CloseReader(uint64_t reader) {
-  std::lock_guard lock(gate_mu_);
+  MutexLock lock(gate_mu_);
   auto it = readers_.find(reader);
   if (it == readers_.end()) return Status::NotFound("unknown reader");
   readers_.erase(it);
   --active_readers_;
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
   return Status::OK();
 }
 
 Result<std::vector<Row>> OfflineEngine::ReadAll(uint64_t reader) {
   {
-    std::lock_guard lock(gate_mu_);
+    MutexLock lock(gate_mu_);
     if (readers_.count(reader) == 0) {
       return Status::NotFound("unknown reader");
     }
@@ -38,42 +41,47 @@ Result<std::vector<Row>> OfflineEngine::ReadAll(uint64_t reader) {
 
 Result<std::optional<Row>> OfflineEngine::ReadKey(uint64_t reader,
                                                   const Row& key) {
+  Rid rid{};
   {
-    std::lock_guard lock(gate_mu_);
+    MutexLock lock(gate_mu_);
     if (readers_.count(reader) == 0) {
       return Status::NotFound("unknown reader");
     }
-  }
-  Result<Rid> rid = FindKey(key);
-  if (!rid.ok()) {
-    if (rid.status().code() == StatusCode::kNotFound) {
-      return std::optional<Row>();
+    Result<Rid> found = FindKey(key);
+    if (!found.ok()) {
+      if (found.status().code() == StatusCode::kNotFound) {
+        return std::optional<Row>();
+      }
+      return found.status();
     }
-    return rid.status();
+    rid = found.value();
   }
-  WVM_ASSIGN_OR_RETURN(Row row, table_->GetRow(rid.value()));
+  WVM_ASSIGN_OR_RETURN(Row row, table_->GetRow(rid));
   return std::optional<Row>(std::move(row));
 }
 
 Status OfflineEngine::BeginMaintenance() {
-  std::unique_lock lock(gate_mu_);
+  MutexLock lock(gate_mu_);
   if (writer_active_ || writer_waiting_) {
     return Status::FailedPrecondition("maintenance already active");
   }
   writer_waiting_ = true;
-  gate_cv_.wait(lock, [&] { return active_readers_ == 0; });
+  gate_cv_.Wait(gate_mu_, [&] {
+    gate_mu_.AssertHeld();  // predicate runs under the wait's lock
+    return active_readers_ == 0;
+  });
   writer_waiting_ = false;
   writer_active_ = true;
   return Status::OK();
 }
 
 Status OfflineEngine::CommitMaintenance() {
-  std::lock_guard lock(gate_mu_);
+  MutexLock lock(gate_mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
   writer_active_ = false;
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -84,6 +92,7 @@ Result<Rid> OfflineEngine::FindKey(const Row& key) const {
 }
 
 Result<std::optional<Row>> OfflineEngine::MaintReadKey(const Row& key) {
+  MutexLock lock(gate_mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -99,6 +108,7 @@ Result<std::optional<Row>> OfflineEngine::MaintReadKey(const Row& key) {
 }
 
 Status OfflineEngine::MaintInsert(const Row& row) {
+  MutexLock lock(gate_mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -112,6 +122,7 @@ Status OfflineEngine::MaintInsert(const Row& row) {
 }
 
 Status OfflineEngine::MaintUpdate(const Row& key, const Row& row) {
+  MutexLock lock(gate_mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -120,6 +131,7 @@ Status OfflineEngine::MaintUpdate(const Row& key, const Row& row) {
 }
 
 Status OfflineEngine::MaintDelete(const Row& key) {
+  MutexLock lock(gate_mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }

@@ -1,13 +1,13 @@
 #ifndef OPENWVM_BASELINES_OFFLINE_ENGINE_H_
 #define OPENWVM_BASELINES_OFFLINE_ENGINE_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "baselines/warehouse_engine.h"
 #include "catalog/table.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wvm::baselines {
 
@@ -41,22 +41,25 @@ class OfflineEngine : public WarehouseEngine {
   EngineStorageStats StorageStats() const override;
 
  private:
-  Result<Rid> FindKey(const Row& key) const;
+  Result<Rid> FindKey(const Row& key) const REQUIRES(gate_mu_);
 
   Schema schema_;
   std::unique_ptr<Table> table_;
 
   // Database-wide reader/writer gate (counter-based so sessions can span
-  // calls; writer-preferring so maintenance is not starved).
-  mutable std::mutex gate_mu_;
-  std::condition_variable gate_cv_;
-  int active_readers_ = 0;
-  bool writer_active_ = false;
-  bool writer_waiting_ = false;
-  uint64_t next_reader_ = 1;
-  std::unordered_map<uint64_t, bool> readers_;  // id -> open
+  // calls; writer-preferring so maintenance is not starved). The index is
+  // guarded by the same gate: only the exclusive writer mutates it, but
+  // the analysis wants that discipline spelled out, not implied.
+  mutable Mutex gate_mu_;
+  CondVar gate_cv_;
+  int active_readers_ GUARDED_BY(gate_mu_) = 0;
+  bool writer_active_ GUARDED_BY(gate_mu_) = false;
+  bool writer_waiting_ GUARDED_BY(gate_mu_) = false;
+  uint64_t next_reader_ GUARDED_BY(gate_mu_) = 1;
+  // id -> open
+  std::unordered_map<uint64_t, bool> readers_ GUARDED_BY(gate_mu_);
 
-  std::unordered_map<Row, Rid, RowHash, RowEq> index_;
+  std::unordered_map<Row, Rid, RowHash, RowEq> index_ GUARDED_BY(gate_mu_);
 };
 
 }  // namespace wvm::baselines

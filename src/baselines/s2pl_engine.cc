@@ -9,7 +9,7 @@ S2plEngine::S2plEngine(BufferPool* pool, Schema logical,
       locks_(lock_timeout) {}
 
 Result<uint64_t> S2plEngine::OpenReader() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = next_reader_++;
   readers_[id] = true;
   return id;
@@ -17,7 +17,7 @@ Result<uint64_t> S2plEngine::OpenReader() {
 
 Status S2plEngine::CloseReader(uint64_t reader) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (readers_.erase(reader) == 0) {
       return Status::NotFound("unknown reader");
     }
@@ -53,7 +53,7 @@ Result<std::optional<Row>> S2plEngine::ReadKey(uint64_t reader,
                                                const Row& key) {
   Rid rid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) return std::optional<Row>();
     rid = it->second;
@@ -71,7 +71,7 @@ Result<std::optional<Row>> S2plEngine::ReadKey(uint64_t reader,
 }
 
 Status S2plEngine::BeginMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (writer_active_) {
     return Status::FailedPrecondition("maintenance already active");
   }
@@ -81,7 +81,7 @@ Status S2plEngine::BeginMaintenance() {
 
 Status S2plEngine::CommitMaintenance() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!writer_active_) {
       return Status::FailedPrecondition("no active maintenance");
     }
@@ -94,7 +94,7 @@ Status S2plEngine::CommitMaintenance() {
 Result<std::optional<Row>> S2plEngine::MaintReadKey(const Row& key) {
   Rid rid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!writer_active_) {
       return Status::FailedPrecondition("no active maintenance");
     }
@@ -117,7 +117,7 @@ Result<std::optional<Row>> S2plEngine::MaintReadKey(const Row& key) {
 Status S2plEngine::MaintInsert(const Row& row) {
   const Row key = schema_.KeyOf(row);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!writer_active_) {
       return Status::FailedPrecondition("no active maintenance");
     }
@@ -126,7 +126,7 @@ Status S2plEngine::MaintInsert(const Row& row) {
   WVM_ASSIGN_OR_RETURN(Rid rid, table_->InsertRow(row));
   WVM_RETURN_IF_ERROR(locks_.Lock(kWriterOwner, RidLockId(rid),
                                   txn::LockManager::Mode::kExclusive));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   index_[key] = rid;
   return Status::OK();
 }
@@ -134,7 +134,7 @@ Status S2plEngine::MaintInsert(const Row& row) {
 Status S2plEngine::MaintUpdate(const Row& key, const Row& row) {
   Rid rid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!writer_active_) {
       return Status::FailedPrecondition("no active maintenance");
     }
@@ -150,7 +150,7 @@ Status S2plEngine::MaintUpdate(const Row& key, const Row& row) {
 Status S2plEngine::MaintDelete(const Row& key) {
   Rid rid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!writer_active_) {
       return Status::FailedPrecondition("no active maintenance");
     }
@@ -161,7 +161,7 @@ Status S2plEngine::MaintDelete(const Row& key) {
   WVM_RETURN_IF_ERROR(locks_.Lock(kWriterOwner, RidLockId(rid),
                                   txn::LockManager::Mode::kExclusive));
   WVM_RETURN_IF_ERROR(table_->DeleteRow(rid));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   index_.erase(key);
   return Status::OK();
 }

@@ -2,11 +2,12 @@
 #define OPENWVM_BASELINES_S2PL_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "baselines/warehouse_engine.h"
 #include "catalog/table.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "txn/lock_manager.h"
 
 namespace wvm::baselines {
@@ -56,11 +57,11 @@ class S2plEngine : public WarehouseEngine {
   std::unique_ptr<Table> table_;
   txn::LockManager locks_;
 
-  mutable std::mutex mu_;
-  uint64_t next_reader_ = 1;
-  std::unordered_map<uint64_t, bool> readers_;
-  bool writer_active_ = false;
-  std::unordered_map<Row, Rid, RowHash, RowEq> index_;
+  mutable Mutex mu_;
+  uint64_t next_reader_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, bool> readers_ GUARDED_BY(mu_);
+  bool writer_active_ GUARDED_BY(mu_) = false;
+  std::unordered_map<Row, Rid, RowHash, RowEq> index_ GUARDED_BY(mu_);
 };
 
 }  // namespace wvm::baselines

@@ -11,31 +11,31 @@ TwoV2plEngine::TwoV2plEngine(BufferPool* pool, Schema logical,
       certify_block_timeout_(certify_block_timeout) {}
 
 Result<uint64_t> TwoV2plEngine::OpenReader() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = next_reader_++;
   reader_reads_[id];
   return id;
 }
 
 Status TwoV2plEngine::CloseReader(uint64_t reader) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = reader_reads_.find(reader);
   if (it == reader_reads_.end()) return Status::NotFound("unknown reader");
   for (const Row& key : it->second) {
     if (--read_counts_[key] == 0) read_counts_.erase(key);
   }
   reader_reads_.erase(it);
-  cv_.notify_all();  // a certifying writer may be waiting on these locks
+  cv_.NotifyAll();  // a certifying writer may be waiting on these locks
   return Status::OK();
 }
 
-Status TwoV2plEngine::NoteRead(uint64_t reader, const Row& key,
-                               std::unique_lock<std::mutex>& lock) {
+Status TwoV2plEngine::NoteRead(uint64_t reader, const Row& key) {
   // New read locks on tuples under certification must wait — the classic
   // S / certify conflict. The wait is bounded: a reader that already
   // holds read locks the certifier is waiting on would deadlock here, so
   // a timeout aborts the read (presumed deadlock).
-  const bool granted = cv_.wait_for(lock, certify_block_timeout_, [&] {
+  const bool granted = cv_.WaitFor(mu_, certify_block_timeout_, [&] {
+    mu_.AssertHeld();  // predicate runs under the wait's lock
     return !certifying_ || shadow_.count(key) == 0 ||
            reader_reads_[reader].count(key) > 0;
   });
@@ -58,12 +58,12 @@ Result<std::vector<Row>> TwoV2plEngine::ReadAll(uint64_t reader) {
     return true;
   });
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (reader_reads_.count(reader) == 0) {
       return Status::NotFound("unknown reader");
     }
     for (auto& [rid, key] : entries) {
-      WVM_RETURN_IF_ERROR(NoteRead(reader, key, lock));
+      WVM_RETURN_IF_ERROR(NoteRead(reader, key));
     }
   }
   std::vector<Row> rows;
@@ -83,11 +83,11 @@ Result<std::optional<Row>> TwoV2plEngine::ReadKey(uint64_t reader,
                                                   const Row& key) {
   Rid rid;
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (reader_reads_.count(reader) == 0) {
       return Status::NotFound("unknown reader");
     }
-    WVM_RETURN_IF_ERROR(NoteRead(reader, key, lock));
+    WVM_RETURN_IF_ERROR(NoteRead(reader, key));
     auto it = index_.find(key);
     if (it == index_.end()) return std::optional<Row>();
     rid = it->second;
@@ -103,7 +103,7 @@ Result<std::optional<Row>> TwoV2plEngine::ReadKey(uint64_t reader,
 }
 
 Status TwoV2plEngine::BeginMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (writer_active_) {
     return Status::FailedPrecondition("maintenance already active");
   }
@@ -115,7 +115,7 @@ Status TwoV2plEngine::BeginMaintenance() {
 Result<std::optional<Row>> TwoV2plEngine::MaintReadKey(const Row& key) {
   Rid rid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!writer_active_) {
       return Status::FailedPrecondition("no active maintenance");
     }
@@ -139,7 +139,7 @@ Result<std::optional<Row>> TwoV2plEngine::MaintReadKey(const Row& key) {
 }
 
 Status TwoV2plEngine::MaintInsert(const Row& row) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -155,7 +155,7 @@ Status TwoV2plEngine::MaintInsert(const Row& row) {
 }
 
 Status TwoV2plEngine::MaintUpdate(const Row& key, const Row& row) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -169,7 +169,7 @@ Status TwoV2plEngine::MaintUpdate(const Row& key, const Row& row) {
 }
 
 Status TwoV2plEngine::MaintDelete(const Row& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -183,7 +183,7 @@ Status TwoV2plEngine::MaintDelete(const Row& key) {
 }
 
 Status TwoV2plEngine::CommitMaintenance() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (!writer_active_) {
     return Status::FailedPrecondition("no active maintenance");
   }
@@ -191,7 +191,8 @@ Status TwoV2plEngine::CommitMaintenance() {
   // modified tuple (readers delay the writer's commit — §6).
   certifying_ = true;
   const auto start = std::chrono::steady_clock::now();
-  cv_.wait(lock, [&] {
+  cv_.Wait(mu_, [&] {
+    mu_.AssertHeld();  // predicate runs under the wait's lock
     for (const auto& [key, value] : shadow_) {
       if (read_counts_.count(key) > 0) return false;
     }
@@ -218,12 +219,12 @@ Status TwoV2plEngine::CommitMaintenance() {
   shadow_.clear();
   certifying_ = false;
   writer_active_ = false;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 EngineStorageStats TwoV2plEngine::StorageStats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Shadow versions live off-page in this model; charge one tuple's bytes
   // per shadowed key as auxiliary space, rounded up to pages.
   const size_t shadow_bytes = shadow_.size() * schema_.RowByteSize();
@@ -233,7 +234,7 @@ EngineStorageStats TwoV2plEngine::StorageStats() const {
 }
 
 std::chrono::nanoseconds TwoV2plEngine::total_certify_wait() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return certify_wait_;
 }
 

@@ -1,16 +1,16 @@
 #ifndef OPENWVM_BASELINES_TWO_V2PL_ENGINE_H_
 #define OPENWVM_BASELINES_TWO_V2PL_ENGINE_H_
 
-#include <condition_variable>
-#include <memory>
-#include <mutex>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "baselines/warehouse_engine.h"
 #include "catalog/table.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wvm::baselines {
 
@@ -46,34 +46,35 @@ class TwoV2plEngine : public WarehouseEngine {
   EngineStorageStats StorageStats() const override;
 
   // Total time writers spent waiting in certification (for the §6 bench).
-  std::chrono::nanoseconds total_certify_wait() const;
+  std::chrono::nanoseconds total_certify_wait() const EXCLUDES(mu_);
 
  private:
-  // Records that `reader` read `key`; blocks while the key is certifying.
-  // Returns kDeadlineExceeded when the wait times out (a certify/S-lock
-  // deadlock, resolved by aborting the read as real 2V2PL systems do).
-  Status NoteRead(uint64_t reader, const Row& key,
-                  std::unique_lock<std::mutex>& lock);
+  // Records that `reader` read `key`; blocks while the key is certifying
+  // (the wait releases and reacquires mu_). Returns kDeadlineExceeded when
+  // the wait times out (a certify/S-lock deadlock, resolved by aborting
+  // the read as real 2V2PL systems do).
+  Status NoteRead(uint64_t reader, const Row& key) REQUIRES(mu_);
 
   Schema schema_;
   std::unique_ptr<Table> table_;  // committed versions only
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_reader_ = 1;
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint64_t next_reader_ GUARDED_BY(mu_) = 1;
   // Reader id -> set of keys it has read (its read locks).
   std::unordered_map<uint64_t, std::unordered_set<Row, RowHash, RowEq>>
-      reader_reads_;
+      reader_reads_ GUARDED_BY(mu_);
   // Key -> number of active readers holding a read lock on it.
-  std::unordered_map<Row, int, RowHash, RowEq> read_counts_;
+  std::unordered_map<Row, int, RowHash, RowEq> read_counts_ GUARDED_BY(mu_);
 
-  bool writer_active_ = false;
-  bool certifying_ = false;
+  bool writer_active_ GUARDED_BY(mu_) = false;
+  bool certifying_ GUARDED_BY(mu_) = false;
   // The writer's uncertified second versions (nullopt = delete).
-  std::unordered_map<Row, std::optional<Row>, RowHash, RowEq> shadow_;
+  std::unordered_map<Row, std::optional<Row>, RowHash, RowEq> shadow_
+      GUARDED_BY(mu_);
 
-  std::unordered_map<Row, Rid, RowHash, RowEq> index_;
-  std::chrono::nanoseconds certify_wait_{0};
+  std::unordered_map<Row, Rid, RowHash, RowEq> index_ GUARDED_BY(mu_);
+  std::chrono::nanoseconds certify_wait_ GUARDED_BY(mu_){0};
   const std::chrono::milliseconds certify_block_timeout_;
 };
 

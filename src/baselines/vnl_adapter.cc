@@ -14,13 +14,13 @@ Result<std::unique_ptr<VnlAdapter>> VnlAdapter::Create(BufferPool* pool,
 
 Result<uint64_t> VnlAdapter::OpenReader() {
   core::ReaderSession session = engine_->OpenSession();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   sessions_[session.id] = session;
   return session.id;
 }
 
 Status VnlAdapter::CloseReader(uint64_t reader) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(reader);
   if (it == sessions_.end()) return Status::NotFound("unknown reader");
   engine_->CloseSession(it->second);
@@ -31,7 +31,7 @@ Status VnlAdapter::CloseReader(uint64_t reader) {
 Result<std::vector<Row>> VnlAdapter::ReadAll(uint64_t reader) {
   core::ReaderSession session;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(reader);
     if (it == sessions_.end()) return Status::NotFound("unknown reader");
     session = it->second;
@@ -43,7 +43,7 @@ Result<std::optional<Row>> VnlAdapter::ReadKey(uint64_t reader,
                                                const Row& key) {
   core::ReaderSession session;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(reader);
     if (it == sessions_.end()) return Status::NotFound("unknown reader");
     session = it->second;
@@ -52,36 +52,41 @@ Result<std::optional<Row>> VnlAdapter::ReadKey(uint64_t reader,
 }
 
 Status VnlAdapter::BeginMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   WVM_ASSIGN_OR_RETURN(txn_, engine_->BeginMaintenance());
   return Status::OK();
 }
 
+core::MaintenanceTxn* VnlAdapter::CurrentTxn() const {
+  MutexLock lock(mu_);
+  return txn_;
+}
+
 Result<std::optional<Row>> VnlAdapter::MaintReadKey(const Row& key) {
-  return table_->MaintenanceLookup(txn_, key);
+  return table_->MaintenanceLookup(CurrentTxn(), key);
 }
 
 Status VnlAdapter::MaintInsert(const Row& row) {
-  return table_->Insert(txn_, row);
+  return table_->Insert(CurrentTxn(), row);
 }
 
 Status VnlAdapter::MaintUpdate(const Row& key, const Row& row) {
   WVM_ASSIGN_OR_RETURN(
       bool found,
-      table_->UpdateByKey(
-          txn_, key, [&row](const Row&) -> Result<Row> { return row; }));
+      table_->UpdateByKey(CurrentTxn(), key,
+                          [&row](const Row&) -> Result<Row> { return row; }));
   if (!found) return Status::NotFound("no such key");
   return Status::OK();
 }
 
 Status VnlAdapter::MaintDelete(const Row& key) {
-  WVM_ASSIGN_OR_RETURN(bool found, table_->DeleteByKey(txn_, key));
+  WVM_ASSIGN_OR_RETURN(bool found, table_->DeleteByKey(CurrentTxn(), key));
   if (!found) return Status::NotFound("no such key");
   return Status::OK();
 }
 
 Status VnlAdapter::CommitMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   WVM_RETURN_IF_ERROR(engine_->Commit(txn_));
   txn_ = nullptr;
   return Status::OK();

@@ -2,10 +2,11 @@
 #define OPENWVM_BASELINES_VNL_ADAPTER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "baselines/warehouse_engine.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/vnl_engine.h"
 
 namespace wvm::baselines {
@@ -49,13 +50,20 @@ class VnlAdapter : public WarehouseEngine {
              core::VnlTable* table)
       : n_(n), engine_(std::move(engine)), table_(table) {}
 
+  // Snapshot of the active txn pointer taken under mu_ (the Maint* paths
+  // previously read txn_ unlocked, relying on the caller to serialize
+  // maintenance with Begin/Commit — the annotation pass made that
+  // explicit).
+  core::MaintenanceTxn* CurrentTxn() const EXCLUDES(mu_);
+
   const int n_;
   std::unique_ptr<core::VnlEngine> engine_;
   core::VnlTable* table_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, core::ReaderSession> sessions_;
-  core::MaintenanceTxn* txn_ = nullptr;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, core::ReaderSession> sessions_
+      GUARDED_BY(mu_);
+  core::MaintenanceTxn* txn_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace wvm::baselines

@@ -11,7 +11,7 @@ std::string Canonical(const std::string& name) {
 }  // namespace
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::string key = Canonical(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -23,7 +23,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(Canonical(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -32,7 +32,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.erase(Canonical(name)) == 0) {
     return Status::NotFound("no table named '" + name + "'");
   }
@@ -40,7 +40,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return tables_.count(Canonical(name)) > 0;
 }
 

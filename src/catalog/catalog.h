@@ -2,12 +2,13 @@
 #define OPENWVM_CATALOG_CATALOG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "catalog/table.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace wvm {
 
@@ -20,17 +21,19 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  Result<Table*> CreateTable(const std::string& name, Schema schema);
-  Result<Table*> GetTable(const std::string& name) const;
-  Status DropTable(const std::string& name);
-  bool HasTable(const std::string& name) const;
+  Result<Table*> CreateTable(const std::string& name, Schema schema)
+      EXCLUDES(mu_);
+  Result<Table*> GetTable(const std::string& name) const EXCLUDES(mu_);
+  Status DropTable(const std::string& name) EXCLUDES(mu_);
+  bool HasTable(const std::string& name) const EXCLUDES(mu_);
 
   BufferPool* buffer_pool() { return pool_; }
 
  private:
   BufferPool* const pool_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace wvm

@@ -11,8 +11,10 @@ namespace wvm {
 
 // Result<T> holds either an OK status and a value, or a non-OK status.
 // Mirrors absl::StatusOr<T>. Use WVM_ASSIGN_OR_RETURN to unwrap.
+// [[nodiscard]] for the same reason as Status: an ignored Result is an
+// ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error status keeps call sites
   // terse: `return value;` / `return Status::NotFound(...)`.

@@ -27,8 +27,10 @@ enum class StatusCode {
 
 const char* StatusCodeToString(StatusCode code);
 
-// Value-type status. Ok status carries no allocation.
-class Status {
+// Value-type status. Ok status carries no allocation. [[nodiscard]]:
+// silently dropping a Status swallows the error — callers must consume
+// it (propagate, branch, or log).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -1,0 +1,97 @@
+#ifndef OPENWVM_COMMON_THREAD_ANNOTATIONS_H_
+#define OPENWVM_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attributes, following the naming of the
+// official documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis).
+// Under Clang with -Wthread-safety (the WVM_ANALYZE build promotes it to an
+// error) the compiler statically checks that every access to a GUARDED_BY
+// field happens with its capability held and that ACQUIRE/RELEASE functions
+// are balanced on all paths. On other compilers every macro degrades to a
+// no-op, so the annotations are pure documentation there.
+//
+// The annotations only understand wvm::Mutex / wvm::SharedMutex (mutex.h),
+// not std::mutex — libstdc++'s std::mutex carries no capability attribute.
+// Code that wants the analysis must hold its state in the annotated
+// wrappers.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WVM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define WVM_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Type annotations ---------------------------------------------------------
+
+// Marks a class as a capability (a lock). The string names the capability
+// kind in diagnostics ("mutex").
+#define CAPABILITY(x) WVM_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability.
+#define SCOPED_CAPABILITY WVM_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data annotations ---------------------------------------------------------
+
+// The field may only be accessed while holding the given capability.
+#define GUARDED_BY(x) WVM_THREAD_ANNOTATION_(guarded_by(x))
+
+// The *pointee* of this pointer field may only be accessed while holding
+// the given capability (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) WVM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Capability ordering (deadlock prevention): this capability must be
+// acquired after / before the named ones.
+#define ACQUIRED_AFTER(...) WVM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+  WVM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+// Function annotations -----------------------------------------------------
+
+// The function may only be called while holding the capability exclusively
+// (REQUIRES) or at least shared (REQUIRES_SHARED). The *Locked() private
+// splits throughout the codebase carry these.
+#define REQUIRES(...) \
+  WVM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WVM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability (exclusive / shared) and does not
+// release it before returning.
+#define ACQUIRE(...) WVM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WVM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (which must be held on entry).
+// RELEASE_GENERIC releases either an exclusive or a shared hold — the right
+// annotation for destructors of scoped locks that support both modes.
+#define RELEASE(...) WVM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WVM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  WVM_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// The function attempts to acquire the capability; the first argument is
+// the return value that means success.
+#define TRY_ACQUIRE(...) \
+  WVM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  WVM_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// The function may not be called while holding the capability (it acquires
+// it itself and would self-deadlock).
+#define EXCLUDES(...) WVM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (no acquisition).
+#define ASSERT_CAPABILITY(x) WVM_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  WVM_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) WVM_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: the function is deliberately exempt from analysis. The
+// WVM_ANALYZE acceptance bar is zero uses of this in src/.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WVM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // OPENWVM_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,89 @@
+#ifndef OPENWVM_CORE_INVARIANT_CHECKER_H_
+#define OPENWVM_CORE_INVARIANT_CHECKER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "core/decision_tables.h"
+#include "core/version_meta.h"
+#include "core/versioned_schema.h"
+
+namespace wvm::core {
+
+// Runtime verification of the 2VNL/nVNL protocol (paper Tables 1-4).
+//
+// The checks are an *independent* encoding of the legal (operation,
+// tupleVN, currentVN) transitions — they do not call the decision tables
+// they police, so a bug in decision_tables.cc or in the mutation plumbing
+// trips them rather than being replayed. The Status-returning functions
+// below are always compiled (and unit-tested directly); the engine hooks
+// fire through WVM_PARANOID_ASSERT_OK, which expands to nothing unless the
+// library is built with -DWVM_PARANOID_CHECKS=1 (the WVM_PARANOID CMake
+// option), so release builds carry zero checking overhead.
+
+// --- Writer side (Tables 2-4, §3.3) ---------------------------------------
+
+// Single-writer protocol: the sole maintenance transaction is stamped
+// currentVN + 1.
+Status CheckWriterProtocol(Vn maintenance_vn, Vn current_vn);
+
+// Validates one physical tuple mutation performed by the maintenance
+// transaction at `maintenance_vn`. `before` / `after` are the tuple's
+// slot-0 version state on either side of the mutation; std::nullopt means
+// the tuple is physically absent on that side. Every legal cell of
+// Tables 2-4 maps to one accepted transition; anything else — updating a
+// deleted tuple, inserting over a live one, stamping a VN other than
+// maintenanceVN, physically removing committed history — is rejected.
+Status CheckTupleTransition(Vn maintenance_vn,
+                            const std::optional<TupleVersionState>& before,
+                            const std::optional<TupleVersionState>& after);
+
+// --- Reader side (Table 1, §3.2 / §5) -------------------------------------
+
+// One populated version group's stamp, newest (slot 0) first.
+struct SlotStamp {
+  Vn vn;
+  Op op;
+};
+
+// Validates a version-resolution decision against the slot stamps it was
+// derived from. `slots` is the populated prefix of the tuple's version
+// groups, `n` the relation's nVNL arity (2 for 2VNL).
+Status CheckReaderResolution(Vn session_vn,
+                             const std::vector<SlotStamp>& slots, int n,
+                             const VersionResolution& res);
+
+// Convenience wrappers: extract the populated slot stamps from a physical
+// row / serialized record, then check.
+Status CheckReaderResolutionRow(const VersionedSchema& vs, const Row& phys,
+                                Vn session_vn, const VersionResolution& res);
+Status CheckReaderResolutionRaw(const VersionedSchema& vs,
+                                const uint8_t* rec, Vn session_vn,
+                                const VersionResolution& res);
+
+}  // namespace wvm::core
+
+// Aborts with the violation's description when `expr` (a Status
+// expression) is non-OK. Compiled out entirely — arguments unevaluated —
+// without WVM_PARANOID_CHECKS, so the hooks in the hot read/write paths
+// cost nothing in release builds.
+#ifdef WVM_PARANOID_CHECKS
+#define WVM_PARANOID_ASSERT_OK(expr)                             \
+  do {                                                           \
+    const ::wvm::Status _wvm_paranoid_status = (expr);           \
+    if (!_wvm_paranoid_status.ok()) {                            \
+      const std::string _wvm_paranoid_msg =                      \
+          _wvm_paranoid_status.ToString();                       \
+      WVM_CHECK_MSG(false, _wvm_paranoid_msg.c_str());           \
+    }                                                            \
+  } while (0)
+#else
+#define WVM_PARANOID_ASSERT_OK(expr) \
+  do {                               \
+  } while (0)
+#endif
+
+#endif  // OPENWVM_CORE_INVARIANT_CHECKER_H_

@@ -6,15 +6,17 @@ namespace wvm::core {
 
 ScanExecutor::~ScanExecutor() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
+  // No lock while joining: workers must be able to take mu_ to drain the
+  // queue, and EnsureWorkers can no longer run (the executor is dying).
   for (std::thread& t : threads_) t.join();
 }
 
 void ScanExecutor::EnsureWorkers(size_t n) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   while (threads_.size() < n) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
@@ -22,14 +24,14 @@ void ScanExecutor::EnsureWorkers(size_t n) {
 
 void ScanExecutor::Submit(std::function<void()> job) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(job));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 size_t ScanExecutor::workers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return threads_.size();
 }
 
@@ -37,8 +39,11 @@ void ScanExecutor::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this] {
+        mu_.AssertHeld();  // predicate runs under the wait's lock
+        return shutdown_ || !queue_.empty();
+      });
       // Drain pending jobs even during shutdown: a scan in flight is
       // waiting on their completion signals.
       if (queue_.empty()) return;

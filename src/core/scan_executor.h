@@ -1,13 +1,14 @@
 #ifndef OPENWVM_CORE_SCAN_EXECUTOR_H_
 #define OPENWVM_CORE_SCAN_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wvm::core {
 
@@ -47,22 +48,22 @@ class ScanExecutor {
   ScanExecutor& operator=(const ScanExecutor&) = delete;
 
   // Grows the pool to at least `n` workers.
-  void EnsureWorkers(size_t n);
+  void EnsureWorkers(size_t n) EXCLUDES(mu_);
 
   // Enqueues a job. Jobs may run in any order, concurrently with each
   // other and with the submitting thread.
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) EXCLUDES(mu_);
 
-  size_t workers() const;
+  size_t workers() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wvm::core

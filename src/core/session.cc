@@ -12,7 +12,7 @@ ReaderSession SessionManager::Open() {
   // be one atomic step with respect to MinActiveSessionVn, or a garbage
   // collector running in between could miss the new session and reclaim
   // tuple versions it still needs.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const Vn vn = version_relation_->Read().current_vn;
   ReaderSession session{next_id_++, vn};
   active_[session.id] = vn;
@@ -22,18 +22,18 @@ ReaderSession SessionManager::Open() {
 void SessionManager::Close(const ReaderSession& session) {
   bool quiescent = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     active_.erase(session.id);
     quiescent = active_.empty();
   }
   // Wake commit-when-quiescent waiters only on the last close; notify
   // outside the lock so a woken waiter does not immediately block on mu_.
-  if (quiescent) quiescent_cv_.notify_all();
+  if (quiescent) quiescent_cv_.NotifyAll();
 }
 
 Status SessionManager::CheckNotExpired(const ReaderSession& session) const {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (session.session_vn < force_expired_below_) {
       return Status::SessionExpired(
           "session invalidated by a maintenance rollback");
@@ -57,7 +57,7 @@ Status SessionManager::CheckNotExpired(const ReaderSession& session) const {
 }
 
 Vn SessionManager::MinActiveSessionVn(Vn fallback) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (active_.empty()) return fallback;
   Vn min_vn = fallback;
   bool first = true;
@@ -71,19 +71,21 @@ Vn SessionManager::MinActiveSessionVn(Vn fallback) const {
 }
 
 size_t SessionManager::active_sessions() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return active_.size();
 }
 
 bool SessionManager::WaitQuiescentUntil(
     std::chrono::steady_clock::time_point deadline) const {
-  std::unique_lock lock(mu_);
-  return quiescent_cv_.wait_until(lock, deadline,
-                                  [this] { return active_.empty(); });
+  MutexLock lock(mu_);
+  return quiescent_cv_.WaitUntil(mu_, deadline, [this] {
+    mu_.AssertHeld();  // predicate runs under the wait's lock
+    return active_.empty();
+  });
 }
 
 void SessionManager::ForceExpireBelow(Vn vn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   force_expired_below_ = std::max(force_expired_below_, vn);
 }
 

@@ -2,12 +2,12 @@
 #define OPENWVM_CORE_SESSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/version_meta.h"
 #include "core/version_relation.h"
 
@@ -40,39 +40,40 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   // Opens a session pinned at the current database version.
-  ReaderSession Open();
+  ReaderSession Open() EXCLUDES(mu_);
 
-  void Close(const ReaderSession& session);
+  void Close(const ReaderSession& session) EXCLUDES(mu_);
 
   // The paper's §4.1 global check:
   //   valid iff sessionVN == currentVN, or
   //             (sessionVN == currentVN - 1 and not maintenanceActive).
   // Additionally a session forcibly expired by an abort is invalid.
   // Returns kSessionExpired when the session must be restarted.
-  Status CheckNotExpired(const ReaderSession& session) const;
+  Status CheckNotExpired(const ReaderSession& session) const EXCLUDES(mu_);
 
   // Smallest sessionVN among active sessions, or `fallback` when none.
-  Vn MinActiveSessionVn(Vn fallback) const;
+  Vn MinActiveSessionVn(Vn fallback) const EXCLUDES(mu_);
 
-  size_t active_sessions() const;
+  size_t active_sessions() const EXCLUDES(mu_);
 
   // Blocks until no session is active or `deadline` passes, whichever
   // comes first (commit-when-quiescent, §2.1). Returns true when quiescent.
   // Event-driven: Close signals the wait; there is no polling loop.
   bool WaitQuiescentUntil(
-      std::chrono::steady_clock::time_point deadline) const;
+      std::chrono::steady_clock::time_point deadline) const EXCLUDES(mu_);
 
   // Forcibly expires sessions with sessionVN < vn (rollback support, §7).
-  void ForceExpireBelow(Vn vn);
+  void ForceExpireBelow(Vn vn) EXCLUDES(mu_);
 
  private:
   VersionRelation* const version_relation_;
   const int n_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable quiescent_cv_;
-  uint64_t next_id_ = 1;
-  std::map<uint64_t, Vn> active_;  // session id -> sessionVN
-  Vn force_expired_below_ = kNoVn;
+  mutable Mutex mu_;
+  mutable CondVar quiescent_cv_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  // session id -> sessionVN
+  std::map<uint64_t, Vn> active_ GUARDED_BY(mu_);
+  Vn force_expired_below_ GUARDED_BY(mu_) = kNoVn;
 };
 
 }  // namespace wvm::core

@@ -9,6 +9,9 @@ Result<std::unique_ptr<VersionRelation>> VersionRelation::Create(
   auto vr = std::unique_ptr<VersionRelation>(new VersionRelation());
   Schema schema({Column::Int64("currentVN"),
                  Column::Bool("maintenanceActive")});
+  // The object is not shared yet, but Create is not a constructor, so the
+  // thread-safety analysis still wants the lock held for these writes.
+  MutexLock lock(vr->mu_);
   vr->table_ = std::make_unique<Table>("Version", schema, pool);
   vr->current_vn_ = initial_vn;
   vr->maintenance_active_ = false;
@@ -25,17 +28,17 @@ void VersionRelation::Persist() {
 }
 
 Vn VersionRelation::current_vn() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return current_vn_;
 }
 
 bool VersionRelation::maintenance_active() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return maintenance_active_;
 }
 
 VersionRelation::Snapshot VersionRelation::Read() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Also touch the stored tuple so the I/O experiments account for the
   // Version-relation read the rewrite implementation performs (§4.1).
   Result<Row> row = table_->GetRow(rid_);
@@ -44,7 +47,7 @@ VersionRelation::Snapshot VersionRelation::Read() const {
 }
 
 Result<Vn> VersionRelation::BeginMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (maintenance_active_) {
     return Status::FailedPrecondition(
         "a maintenance transaction is already active (the external "
@@ -56,7 +59,7 @@ Result<Vn> VersionRelation::BeginMaintenance() {
 }
 
 Status VersionRelation::CommitMaintenance(Vn maintenance_vn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!maintenance_active_) {
     return Status::FailedPrecondition("no active maintenance transaction");
   }
@@ -70,7 +73,7 @@ Status VersionRelation::CommitMaintenance(Vn maintenance_vn) {
 }
 
 Status VersionRelation::AbortMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!maintenance_active_) {
     return Status::FailedPrecondition("no active maintenance transaction");
   }

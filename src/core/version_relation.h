@@ -2,10 +2,11 @@
 #define OPENWVM_CORE_VERSION_RELATION_H_
 
 #include <memory>
-#include <mutex>
 
 #include "catalog/table.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/version_meta.h"
 
 namespace wvm::core {
@@ -23,8 +24,8 @@ class VersionRelation {
   static Result<std::unique_ptr<VersionRelation>> Create(BufferPool* pool,
                                                          Vn initial_vn = 0);
 
-  Vn current_vn() const;
-  bool maintenance_active() const;
+  Vn current_vn() const EXCLUDES(mu_);
+  bool maintenance_active() const EXCLUDES(mu_);
 
   // Snapshot both attributes atomically (what a reader's global
   // expiration check reads, §4.1).
@@ -32,32 +33,33 @@ class VersionRelation {
     Vn current_vn;
     bool maintenance_active;
   };
-  Snapshot Read() const;
+  Snapshot Read() const EXCLUDES(mu_);
 
   // Marks a maintenance transaction active. Fails if one already is —
   // the "external protocol" of §2.2 that serializes writers.
-  Result<Vn> BeginMaintenance();  // returns maintenanceVN = currentVN + 1
+  // Returns maintenanceVN = currentVN + 1.
+  Result<Vn> BeginMaintenance() EXCLUDES(mu_);
 
   // Publishes maintenanceVN as the new currentVN and clears the flag.
   // When `separate_txn` is true this mimics the paper's suggested fix for
   // the abort anomaly: currentVN is updated only after the maintenance
   // transaction is durably finished (modelled here as a distinct write).
-  Status CommitMaintenance(Vn maintenance_vn);
+  Status CommitMaintenance(Vn maintenance_vn) EXCLUDES(mu_);
 
   // Clears the flag without advancing currentVN (abort path).
-  Status AbortMaintenance();
+  Status AbortMaintenance() EXCLUDES(mu_);
 
  private:
   VersionRelation() = default;
 
   // Writes the in-memory state through to the stored tuple.
-  void Persist();
+  void Persist() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unique_ptr<Table> table_;
-  Rid rid_;
-  Vn current_vn_ = 0;
-  bool maintenance_active_ = false;
+  mutable Mutex mu_;
+  std::unique_ptr<Table> table_ GUARDED_BY(mu_);
+  Rid rid_;  // written once in Create()
+  Vn current_vn_ GUARDED_BY(mu_) = 0;
+  bool maintenance_active_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wvm::core

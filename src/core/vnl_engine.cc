@@ -1,6 +1,7 @@
 #include "core/vnl_engine.h"
 
 #include "common/strings.h"
+#include "core/invariant_checker.h"
 
 namespace wvm::core {
 
@@ -17,7 +18,7 @@ Result<VnlTable*> VnlEngine::CreateTable(const std::string& name,
                                          Schema logical) {
   WVM_ASSIGN_OR_RETURN(VersionedSchema vschema,
                        VersionedSchema::Create(std::move(logical), n_));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::string key = ToLowerAscii(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -30,7 +31,7 @@ Result<VnlTable*> VnlEngine::CreateTable(const std::string& name,
 }
 
 Result<VnlTable*> VnlEngine::GetTable(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(ToLowerAscii(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -39,18 +40,18 @@ Result<VnlTable*> VnlEngine::GetTable(const std::string& name) const {
 }
 
 void VnlEngine::SetScanOptions(const ScanOptions& opts) {
-  std::lock_guard lock(scan_mu_);
+  MutexLock lock(scan_mu_);
   scan_options_ = opts;
   if (scan_options_.parallelism < 1) scan_options_.parallelism = 1;
 }
 
 ScanOptions VnlEngine::scan_options() const {
-  std::lock_guard lock(scan_mu_);
+  MutexLock lock(scan_mu_);
   return scan_options_;
 }
 
 ScanExecutor* VnlEngine::scan_executor() {
-  std::lock_guard lock(scan_mu_);
+  MutexLock lock(scan_mu_);
   if (scan_executor_ == nullptr) {
     scan_executor_ = std::make_unique<ScanExecutor>();
   }
@@ -58,18 +59,21 @@ ScanExecutor* VnlEngine::scan_executor() {
 }
 
 Result<MaintenanceTxn*> VnlEngine::BeginMaintenance() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (active_txn_ != nullptr) {
     return Status::FailedPrecondition(
         "a maintenance transaction is already active");
   }
   WVM_ASSIGN_OR_RETURN(Vn vn, version_relation_->BeginMaintenance());
+  // currentVN is published only at commit, so the fresh transaction must
+  // sit exactly one version past it.
+  WVM_PARANOID_ASSERT_OK(
+      CheckWriterProtocol(vn, version_relation_->current_vn()));
   active_txn_.reset(new MaintenanceTxn(this, vn));
   return active_txn_.get();
 }
 
-Status VnlEngine::Commit(MaintenanceTxn* txn) {
-  std::lock_guard lock(mu_);
+Status VnlEngine::CommitLocked(MaintenanceTxn* txn) {
   if (txn == nullptr || txn != active_txn_.get() || !txn->active()) {
     return Status::FailedPrecondition("transaction is not active");
   }
@@ -79,20 +83,22 @@ Status VnlEngine::Commit(MaintenanceTxn* txn) {
   return Status::OK();
 }
 
+Status VnlEngine::Commit(MaintenanceTxn* txn) {
+  MutexLock lock(mu_);
+  return CommitLocked(txn);
+}
+
 Status VnlEngine::CommitWhenQuiescent(MaintenanceTxn* txn,
                                       std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (txn == nullptr || txn != active_txn_.get() || !txn->active()) {
         return Status::FailedPrecondition("transaction is not active");
       }
       if (sessions_.active_sessions() == 0) {
-        WVM_RETURN_IF_ERROR(version_relation_->CommitMaintenance(txn->vn()));
-        txn->active_ = false;
-        active_txn_.reset();
-        return Status::OK();
+        return CommitLocked(txn);
       }
     }
     // Event-driven wait: SessionManager::Close signals when the last
@@ -107,7 +113,7 @@ Status VnlEngine::CommitWhenQuiescent(MaintenanceTxn* txn,
 }
 
 Status VnlEngine::Abort(MaintenanceTxn* txn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (txn == nullptr || txn != active_txn_.get() || !txn->active()) {
     return Status::FailedPrecondition("transaction is not active");
   }
@@ -133,7 +139,7 @@ Status VnlEngine::Abort(MaintenanceTxn* txn) {
 }
 
 Result<VnlEngine::GcStats> VnlEngine::CollectGarbage() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // GC must not overlap a maintenance transaction: the writer may
   // re-insert over a logically deleted tuple the collector has already
   // chosen as a victim, and the physical delete would then kill a live

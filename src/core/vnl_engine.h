@@ -4,10 +4,11 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/scan_executor.h"
 #include "core/session.h"
 #include "core/version_relation.h"
@@ -38,8 +39,9 @@ class VnlEngine {
 
   // --- Schema --------------------------------------------------------------
 
-  Result<VnlTable*> CreateTable(const std::string& name, Schema logical);
-  Result<VnlTable*> GetTable(const std::string& name) const;
+  Result<VnlTable*> CreateTable(const std::string& name, Schema logical)
+      EXCLUDES(mu_);
+  Result<VnlTable*> GetTable(const std::string& name) const EXCLUDES(mu_);
 
   // --- Reader sessions ------------------------------------------------------
 
@@ -56,11 +58,11 @@ class VnlEngine {
 
   // Starts the (single) maintenance transaction. Fails with
   // kFailedPrecondition while another is active.
-  Result<MaintenanceTxn*> BeginMaintenance();
+  Result<MaintenanceTxn*> BeginMaintenance() EXCLUDES(mu_);
 
   // Publishes the transaction's version: its writes become the current
   // database version and the previous version stays readable.
-  Status Commit(MaintenanceTxn* txn);
+  Status Commit(MaintenanceTxn* txn) EXCLUDES(mu_);
 
   // §2.1 alternative commit policy: waits until no reader session is
   // active before committing, so sessions never expire — at the price of
@@ -68,13 +70,14 @@ class VnlEngine {
   // here by `timeout`, after which kDeadlineExceeded is returned and the
   // transaction remains active for a later retry or plain Commit).
   Status CommitWhenQuiescent(MaintenanceTxn* txn,
-                             std::chrono::milliseconds timeout);
+                             std::chrono::milliseconds timeout)
+      EXCLUDES(mu_);
 
   // Rolls the transaction back *without any undo log* by reverting tuples
   // to their saved pre-update versions (§7). Reader sessions whose
   // versions cannot be faithfully reconstructed are force-expired; with
   // n > 2 and intact history slots the revert is lossless.
-  Status Abort(MaintenanceTxn* txn);
+  Status Abort(MaintenanceTxn* txn) EXCLUDES(mu_);
 
   // --- Garbage collection (§7) -----------------------------------------------
 
@@ -84,7 +87,7 @@ class VnlEngine {
   // Physically removes logically deleted tuples no active or future
   // session can read. Safe to run concurrently with readers. Heap I/O
   // failures surface as a non-OK status.
-  Result<GcStats> CollectGarbage();
+  Result<GcStats> CollectGarbage() EXCLUDES(mu_);
 
   // --- Scan configuration -----------------------------------------------------
 
@@ -93,10 +96,10 @@ class VnlEngine {
   // scan); 1 keeps the serial streaming pass. Options are read once at
   // the start of each scan — changing them never affects a scan already
   // in flight.
-  void SetScanOptions(const ScanOptions& opts);
-  ScanOptions scan_options() const;
+  void SetScanOptions(const ScanOptions& opts) EXCLUDES(scan_mu_);
+  ScanOptions scan_options() const EXCLUDES(scan_mu_);
   // The engine's shared scan worker pool (created on first use).
-  ScanExecutor* scan_executor();
+  ScanExecutor* scan_executor() EXCLUDES(scan_mu_);
 
   // --- Observability ---------------------------------------------------------
 
@@ -112,19 +115,23 @@ class VnlEngine {
         version_relation_(std::move(version_relation)),
         sessions_(version_relation_.get(), n) {}
 
+  // Shared tail of Commit/CommitWhenQuiescent: validates the transaction
+  // and publishes its version.
+  Status CommitLocked(MaintenanceTxn* txn) REQUIRES(mu_);
+
   BufferPool* const pool_;
   const int n_;
   std::unique_ptr<VersionRelation> version_relation_;
   SessionManager sessions_;
   ScanMetricsSink scan_metrics_;
 
-  mutable std::mutex mu_;  // guards tables_ and active_txn_
-  std::map<std::string, std::unique_ptr<VnlTable>> tables_;
-  std::unique_ptr<MaintenanceTxn> active_txn_;
+  mutable Mutex mu_;  // guards tables_ and active_txn_
+  std::map<std::string, std::unique_ptr<VnlTable>> tables_ GUARDED_BY(mu_);
+  std::unique_ptr<MaintenanceTxn> active_txn_ GUARDED_BY(mu_);
 
-  mutable std::mutex scan_mu_;  // guards scan_options_ and scan_executor_
-  ScanOptions scan_options_;
-  std::unique_ptr<ScanExecutor> scan_executor_;
+  mutable Mutex scan_mu_;  // guards scan_options_ and scan_executor_
+  ScanOptions scan_options_ GUARDED_BY(scan_mu_);
+  std::unique_ptr<ScanExecutor> scan_executor_ GUARDED_BY(scan_mu_);
 };
 
 }  // namespace wvm::core

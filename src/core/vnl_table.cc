@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "core/invariant_checker.h"
 #include "core/vnl_engine.h"
 #include "query/eval.h"
 
@@ -33,7 +33,7 @@ Status VnlTable::CheckTxn(const MaintenanceTxn* txn) const {
 
 std::optional<Rid> VnlTable::IndexLookup(const Row& key) const {
   if (!vschema_.logical().has_unique_key()) return std::nullopt;
-  std::lock_guard lock(index_mu_);
+  MutexLock lock(index_mu_);
   auto it = key_index_.find(key);
   if (it == key_index_.end()) return std::nullopt;
   return it->second;
@@ -41,19 +41,31 @@ std::optional<Rid> VnlTable::IndexLookup(const Row& key) const {
 
 void VnlTable::IndexInsert(const Row& key, Rid rid) {
   if (!vschema_.logical().has_unique_key()) return;
-  std::lock_guard lock(index_mu_);
+  MutexLock lock(index_mu_);
   key_index_[key] = rid;
 }
 
 void VnlTable::IndexErase(const Row& key) {
   if (!vschema_.logical().has_unique_key()) return;
-  std::lock_guard lock(index_mu_);
+  MutexLock lock(index_mu_);
   key_index_.erase(key);
 }
 
 Status VnlTable::ApplyDecision(MaintenanceTxn* txn,
                                const MaintenanceDecision& d, Rid rid,
                                Row phys, const Row* mv_logical) {
+#ifdef WVM_PARANOID_CHECKS
+  // For non-insert actions `phys` still holds the pre-mutation image here;
+  // a fresh insert has no "before" (MakeInsertRow built `phys` from air).
+  std::optional<TupleVersionState> paranoid_before;
+  if (d.action != PhysicalAction::kInsertTuple) {
+    Result<Op> before_op = vschema_.Operation(phys, 0);
+    WVM_PARANOID_ASSERT_OK(before_op.status());
+    paranoid_before = TupleVersionState{
+        vschema_.TupleVn(phys, 0), before_op.value(),
+        vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1)};
+  }
+#endif
   // Order matters: preserve the old version (push back / PV <- CV) before
   // overwriting the current values.
   if (d.push_back) vschema_.PushBack(&phys);
@@ -71,6 +83,21 @@ Status VnlTable::ApplyDecision(MaintenanceTxn* txn,
         Value::String(OpToString(*d.new_op));
   }
   if (d.pop_slot) vschema_.PushForward(&phys);
+
+#ifdef WVM_PARANOID_CHECKS
+  {
+    std::optional<TupleVersionState> paranoid_after;
+    if (d.action != PhysicalAction::kDeleteTuple) {
+      Result<Op> after_op = vschema_.Operation(phys, 0);
+      WVM_PARANOID_ASSERT_OK(after_op.status());
+      paranoid_after = TupleVersionState{
+          vschema_.TupleVn(phys, 0), after_op.value(),
+          vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1)};
+    }
+    WVM_PARANOID_ASSERT_OK(
+        CheckTupleTransition(txn->vn(), paranoid_before, paranoid_after));
+  }
+#endif
 
   switch (d.action) {
     case PhysicalAction::kInsertTuple: {
@@ -323,6 +350,8 @@ Status VnlTable::StreamSnapshot(
     // fails even when the offending tuple would have been filtered out.
     const VersionResolution res =
         ResolveVersion(vschema_, phys, session.session_vn);
+    WVM_PARANOID_ASSERT_OK(CheckReaderResolutionRow(
+        vschema_, phys, session.session_vn, res));
     switch (res.outcome) {
       case ReadOutcome::kIgnore:
         if (stats != nullptr) ++stats->ignored;
@@ -537,18 +566,18 @@ struct ParallelScanState {
   std::vector<Partition> partitions;
   std::atomic<bool> cancel{false};
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<int> completed;  // arrival order, guarded by mu
+  Mutex mu;
+  CondVar cv;
+  std::deque<int> completed GUARDED_BY(mu);  // arrival order
 
-  void MarkDone(int p) {
+  void MarkDone(int p) EXCLUDES(mu) {
     {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       partitions[p].done = true;
       completed.push_back(p);
       // Notify under the lock: after unlocking, the worker never touches
       // this state again, so the consumer can safely tear it down.
-      cv.notify_one();
+      cv.NotifyOne();
     }
   }
 };
@@ -615,6 +644,8 @@ Status VnlTable::StreamSnapshotParallel(
         ++part.scanned;
         const VersionResolution res =
             ResolveVersionRaw(vschema_, rec, session_vn);
+        WVM_PARANOID_ASSERT_OK(
+            CheckReaderResolutionRaw(vschema_, rec, session_vn, res));
         switch (res.outcome) {
           case ReadOutcome::kIgnore:
             ++part.stats.ignored;
@@ -695,17 +726,22 @@ Status VnlTable::StreamSnapshotParallel(
 
   if (opts.merge == ScanMergeMode::kHeapOrder) {
     for (int p = 0; p < nparts; ++p) {
-      std::unique_lock lock(state->mu);
-      state->cv.wait(lock, [&] { return state->partitions[p].done; });
-      lock.unlock();
+      {
+        MutexLock lock(state->mu);
+        state->cv.Wait(state->mu,
+                       [&] { return state->partitions[p].done; });
+      }
       feed(p);
     }
   } else {
     for (int consumed = 0; consumed < nparts; ++consumed) {
       int p;
       {
-        std::unique_lock lock(state->mu);
-        state->cv.wait(lock, [&] { return !state->completed.empty(); });
+        MutexLock lock(state->mu);
+        state->cv.Wait(state->mu, [&] {
+          state->mu.AssertHeld();  // predicate runs under the wait's lock
+          return !state->completed.empty();
+        });
         p = state->completed.front();
         state->completed.pop_front();
       }
@@ -777,6 +813,8 @@ Result<std::optional<Row>> VnlTable::SnapshotLookup(
   }
   const VersionResolution res =
       ResolveVersion(vschema_, *phys, session.session_vn);
+  WVM_PARANOID_ASSERT_OK(CheckReaderResolutionRow(
+      vschema_, *phys, session.session_vn, res));
   switch (res.outcome) {
     case ReadOutcome::kRow: {
       if (stats != nullptr) {

@@ -3,14 +3,15 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/table.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/decision_tables.h"
 #include "core/scan_executor.h"
 #include "core/scan_metrics.h"
@@ -205,9 +206,9 @@ class VnlTable {
       const std::function<bool(const Row&)>& sink,
       SnapshotScanStats* stats, const ScanOptions& opts) const;
 
-  std::optional<Rid> IndexLookup(const Row& key) const;
-  void IndexInsert(const Row& key, Rid rid);
-  void IndexErase(const Row& key);
+  std::optional<Rid> IndexLookup(const Row& key) const EXCLUDES(index_mu_);
+  void IndexInsert(const Row& key, Rid rid) EXCLUDES(index_mu_);
+  void IndexErase(const Row& key) EXCLUDES(index_mu_);
 
   // Rollback-without-logging (§7): reverts every tuple stamped with
   // txn_vn. Returns true when the revert was lossless (all pre-states
@@ -228,8 +229,9 @@ class VnlTable {
   ScanMetricsSink* metrics_;
   VnlEngine* engine_;  // scan options + shared ScanExecutor; may be null
 
-  mutable std::mutex index_mu_;
-  std::unordered_map<Row, Rid, RowHash, RowEq> key_index_;
+  mutable Mutex index_mu_;
+  std::unordered_map<Row, Rid, RowHash, RowEq> key_index_
+      GUARDED_BY(index_mu_);
 };
 
 }  // namespace wvm::core

@@ -55,7 +55,7 @@ Page* BufferPool::AcquireFrameLocked() {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Page* frame = AcquireFrameLocked();
   if (frame == nullptr) {
     return Status::ResourceExhausted("all buffer pool frames are pinned");
@@ -72,7 +72,7 @@ Result<Page*> BufferPool::NewPage() {
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
   WVM_CHECK(page_id != kInvalidPageId);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.fetches;
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
@@ -96,14 +96,14 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
 }
 
 void BufferPool::Unpin(Page* page, bool dirty) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   WVM_CHECK_MSG(page->pin_count_ > 0, "unpin of unpinned page");
   --page->pin_count_;
   if (dirty) page->is_dirty_ = true;
 }
 
 void BufferPool::FlushAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& frame : frames_) {
     if (frame->page_id_ != kInvalidPageId && frame->is_dirty_) {
       disk_->WritePage(frame->page_id_, frame->data_);
@@ -114,12 +114,12 @@ void BufferPool::FlushAll() {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   stats_ = BufferPoolStats{};
 }
 

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -36,19 +37,19 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Allocates a fresh page, pinned. Caller must Unpin.
-  Result<Page*> NewPage();
+  Result<Page*> NewPage() EXCLUDES(mu_);
 
   // Fetches an existing page, pinned. Caller must Unpin.
-  Result<Page*> FetchPage(PageId page_id);
+  Result<Page*> FetchPage(PageId page_id) EXCLUDES(mu_);
 
   // Drops a pin; `dirty` marks the page as modified.
-  void Unpin(Page* page, bool dirty);
+  void Unpin(Page* page, bool dirty) EXCLUDES(mu_);
 
   // Writes all dirty pages back to disk (used at checkpoints in tests).
-  void FlushAll();
+  void FlushAll() EXCLUDES(mu_);
 
-  BufferPoolStats stats() const;
-  void ResetStats();
+  BufferPoolStats stats() const EXCLUDES(mu_);
+  void ResetStats() EXCLUDES(mu_);
 
   size_t pool_size() const { return pool_size_; }
   DiskManager* disk() { return disk_; }
@@ -57,21 +58,23 @@ class BufferPool {
   // Finds a frame for a new resident page; evicts an unpinned LRU victim
   // if necessary. Returns nullptr when every frame is pinned. On success
   // the chosen frame index is recorded in acquired_frame_idx_.
-  Page* AcquireFrameLocked();
-  void TouchLocked(size_t frame_idx);
+  Page* AcquireFrameLocked() REQUIRES(mu_);
+  void TouchLocked(size_t frame_idx) REQUIRES(mu_);
 
-  size_t acquired_frame_idx_ = 0;
+  size_t acquired_frame_idx_ GUARDED_BY(mu_) = 0;
 
   const size_t pool_size_;
   DiskManager* const disk_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;  // page id -> frame index
-  std::list<size_t> lru_;                          // front = most recent
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
-  BufferPoolStats stats_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Page>> frames_ GUARDED_BY(mu_);
+  // page id -> frame index
+  std::unordered_map<PageId, size_t> page_table_ GUARDED_BY(mu_);
+  std::list<size_t> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ GUARDED_BY(mu_);
+  BufferPoolStats stats_ GUARDED_BY(mu_);
 };
 
 // RAII pin guard. Obtain via TableHeap or directly from the pool.

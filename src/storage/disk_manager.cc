@@ -1,14 +1,13 @@
 #include "storage/disk_manager.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "common/logging.h"
 
 namespace wvm {
 
 PageId DiskManager::AllocatePage() {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   pages_.push_back(std::make_unique<PageBuf>());
   std::memset(pages_.back()->bytes, 0, kPageSize);
   allocs_.fetch_add(1, std::memory_order_relaxed);
@@ -16,7 +15,7 @@ PageId DiskManager::AllocatePage() {
 }
 
 void DiskManager::ReadPage(PageId page_id, char* out) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   WVM_CHECK_MSG(page_id >= 0 &&
                     static_cast<size_t>(page_id) < pages_.size(),
                 "read of unallocated page");
@@ -25,7 +24,7 @@ void DiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 void DiskManager::WritePage(PageId page_id, const char* data) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   WVM_CHECK_MSG(page_id >= 0 &&
                     static_cast<size_t>(page_id) < pages_.size(),
                 "write of unallocated page");
@@ -34,7 +33,7 @@ void DiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 size_t DiskManager::num_pages() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return pages_.size();
 }
 

@@ -5,8 +5,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <shared_mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace wvm {
@@ -28,13 +29,15 @@ class DiskManager {
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  PageId AllocatePage();
+  PageId AllocatePage() EXCLUDES(mu_);
 
   // Copies the page into `out` (exactly kPageSize bytes).
-  void ReadPage(PageId page_id, char* out);
+  void ReadPage(PageId page_id, char* out) EXCLUDES(mu_);
 
-  // Copies `data` (exactly kPageSize bytes) into the page.
-  void WritePage(PageId page_id, const char* data);
+  // Copies `data` (exactly kPageSize bytes) into the page. Takes mu_ only
+  // shared: the deque structure is read, and concurrent writers to the
+  // *same* page are the buffer pool's problem (one frame per page id).
+  void WritePage(PageId page_id, const char* data) EXCLUDES(mu_);
 
   DiskStats stats() const {
     return {reads_.load(std::memory_order_relaxed),
@@ -47,15 +50,17 @@ class DiskManager {
     allocs_.store(0, std::memory_order_relaxed);
   }
 
-  size_t num_pages() const;
+  size_t num_pages() const EXCLUDES(mu_);
 
  private:
   struct PageBuf {
     char bytes[kPageSize];
   };
 
-  mutable std::shared_mutex mu_;
-  std::deque<std::unique_ptr<PageBuf>> pages_;  // stable addresses
+  mutable SharedMutex mu_;
+  // Stable addresses; the deque *structure* is guarded, page bytes are
+  // deliberately not (see WritePage).
+  std::deque<std::unique_ptr<PageBuf>> pages_ GUARDED_BY(mu_);
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> allocs_{0};

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <shared_mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace wvm {
 
@@ -28,10 +30,10 @@ class Page {
   bool is_dirty() const { return is_dirty_; }
   int pin_count() const { return pin_count_; }
 
-  void RLatch() { latch_.lock_shared(); }
-  void RUnlatch() { latch_.unlock_shared(); }
-  void WLatch() { latch_.lock(); }
-  void WUnlatch() { latch_.unlock(); }
+  void RLatch() ACQUIRE_SHARED(latch_) { latch_.LockShared(); }
+  void RUnlatch() RELEASE_SHARED(latch_) { latch_.UnlockShared(); }
+  void WLatch() ACQUIRE(latch_) { latch_.Lock(); }
+  void WUnlatch() RELEASE(latch_) { latch_.Unlock(); }
 
  private:
   friend class BufferPool;
@@ -47,7 +49,7 @@ class Page {
   PageId page_id_ = kInvalidPageId;
   bool is_dirty_ = false;
   int pin_count_ = 0;
-  std::shared_mutex latch_;
+  SharedMutex latch_;
 };
 
 // Record identifier: page + slot within the page.

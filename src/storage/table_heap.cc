@@ -57,7 +57,7 @@ TableHeap::TableHeap(BufferPool* pool, size_t record_size)
 }
 
 Result<Page*> TableHeap::PageForInsert(PageId* page_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!pages_with_space_.empty()) {
     *page_id = *pages_with_space_.begin();
     return pool_->FetchPage(*page_id);
@@ -102,7 +102,7 @@ Result<Rid> TableHeap::Insert(const uint8_t* record) {
       // Lost a race: the page filled up before we latched it.
       page->WUnlatch();
       pool_->Unpin(page, /*dirty=*/false);
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       pages_with_space_.erase(pid);
       continue;
     }
@@ -113,7 +113,7 @@ Result<Rid> TableHeap::Insert(const uint8_t* record) {
     page->WUnlatch();
     pool_->Unpin(page, /*dirty=*/true);
     if (now_full) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       pages_with_space_.erase(pid);
     }
     live_records_.fetch_add(1, std::memory_order_relaxed);
@@ -149,7 +149,7 @@ Status TableHeap::Delete(Rid rid) {
   page->WUnlatch();
   pool_->Unpin(page, /*dirty=*/true);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     pages_with_space_.insert(rid.page_id);
   }
   live_records_.fetch_sub(1, std::memory_order_relaxed);
@@ -197,7 +197,7 @@ void TableHeap::Scan(
 }
 
 std::vector<PageId> TableHeap::PageIds() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return page_ids_;
 }
 

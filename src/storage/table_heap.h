@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 
@@ -84,17 +85,17 @@ class TableHeap {
   struct PageHeader;
 
   // Picks a page to insert into (may allocate), pinned. Out: page id.
-  Result<Page*> PageForInsert(PageId* page_id);
+  Result<Page*> PageForInsert(PageId* page_id) EXCLUDES(mu_);
 
   BufferPool* const pool_;
   const size_t record_size_;
   const uint16_t capacity_;
 
-  mutable std::mutex mu_;  // guards chain tail + free set + id mirror
-  PageId first_page_id_ = kInvalidPageId;
-  PageId last_page_id_ = kInvalidPageId;
-  std::vector<PageId> page_ids_;  // chain in heap order
-  std::unordered_set<PageId> pages_with_space_;
+  mutable Mutex mu_;  // guards chain tail + free set + id mirror
+  PageId first_page_id_ = kInvalidPageId;  // written once in the ctor
+  PageId last_page_id_ GUARDED_BY(mu_) = kInvalidPageId;
+  std::vector<PageId> page_ids_ GUARDED_BY(mu_);  // chain in heap order
+  std::unordered_set<PageId> pages_with_space_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> live_records_{0};
   std::atomic<uint64_t> num_pages_{0};

@@ -14,7 +14,7 @@ bool LockManager::CompatibleLocked(const LockState& state, uint64_t owner,
 }
 
 Status LockManager::Lock(uint64_t owner, uint64_t resource, Mode mode) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   LockState& state = locks_[resource];
 
   auto held = state.holders.find(owner);
@@ -28,7 +28,8 @@ Status LockManager::Lock(uint64_t owner, uint64_t resource, Mode mode) {
   if (!CompatibleLocked(state, owner, mode)) {
     ++stats_.waits;
     ++state.waiting;
-    const bool granted = cv_.wait_for(lock, timeout_, [&] {
+    const bool granted = cv_.WaitFor(mu_, timeout_, [&] {
+      mu_.AssertHeld();  // predicate runs under the wait's lock
       return CompatibleLocked(state, owner, mode);
     });
     --state.waiting;
@@ -48,7 +49,7 @@ Status LockManager::Lock(uint64_t owner, uint64_t resource, Mode mode) {
 }
 
 void LockManager::UnlockAll(uint64_t owner) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = owned_.find(owner);
   if (it == owned_.end()) return;
   for (uint64_t resource : it->second) {
@@ -60,11 +61,11 @@ void LockManager::UnlockAll(uint64_t owner) {
     }
   }
   owned_.erase(it);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 LockManager::Stats LockManager::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

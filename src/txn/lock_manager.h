@@ -2,14 +2,14 @@
 #define OPENWVM_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace wvm::txn {
 
@@ -35,13 +35,13 @@ class LockManager {
   // holders exist. Re-entrant: an owner holding S may upgrade to X when it
   // is the sole holder. Returns kDeadlineExceeded after the timeout (the
   // caller should treat this as a deadlock and abort/retry).
-  Status Lock(uint64_t owner, uint64_t resource, Mode mode);
+  Status Lock(uint64_t owner, uint64_t resource, Mode mode) EXCLUDES(mu_);
 
   // Releases every lock held by `owner` (strict two-phase: all locks drop
   // at end of transaction/session).
-  void UnlockAll(uint64_t owner);
+  void UnlockAll(uint64_t owner) EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   struct LockState {
@@ -50,14 +50,14 @@ class LockManager {
   };
 
   bool CompatibleLocked(const LockState& state, uint64_t owner,
-                        Mode mode) const;
+                        Mode mode) const REQUIRES(mu_);
 
   const std::chrono::milliseconds timeout_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<uint64_t, LockState> locks_;
-  std::unordered_map<uint64_t, std::set<uint64_t>> owned_;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<uint64_t, LockState> locks_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::set<uint64_t>> owned_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace wvm::txn

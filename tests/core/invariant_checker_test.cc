@@ -1,0 +1,328 @@
+#include "core/invariant_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm::core {
+namespace {
+
+TupleVersionState State(Vn vn, Op op, bool older = false) {
+  return TupleVersionState{vn, op, older};
+}
+
+// ---------------------------------------------------------------------------
+// Single-writer protocol.
+
+TEST(WriterProtocolTest, MaintenanceVnIsCurrentPlusOne) {
+  EXPECT_TRUE(CheckWriterProtocol(1, 0).ok());
+  EXPECT_TRUE(CheckWriterProtocol(8, 7).ok());
+  EXPECT_FALSE(CheckWriterProtocol(7, 7).ok());   // re-using currentVN
+  EXPECT_FALSE(CheckWriterProtocol(9, 7).ok());   // skipping a version
+  EXPECT_FALSE(CheckWriterProtocol(6, 7).ok());   // going backwards
+}
+
+// ---------------------------------------------------------------------------
+// Writer transitions: every legal cell of Tables 2-4 is accepted.
+
+TEST(TupleTransitionTest, LegalTable2Cells) {
+  // No conflicting tuple: fresh physical insert.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, std::nullopt, State(5, Op::kInsert)).ok());
+  // Re-insert over a tuple deleted by an earlier txn.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(3, Op::kDelete), State(5, Op::kInsert))
+          .ok());
+  // Re-insert over a same-txn delete nets to update.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(5, Op::kDelete), State(5, Op::kUpdate))
+          .ok());
+}
+
+TEST(TupleTransitionTest, LegalTable3Cells) {
+  // First update of a committed tuple.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(3, Op::kInsert), State(5, Op::kUpdate))
+          .ok());
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(3, Op::kUpdate), State(5, Op::kUpdate))
+          .ok());
+  // Updating a same-txn insert keeps operation=insert.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(5, Op::kInsert), State(5, Op::kInsert))
+          .ok());
+  // Updating a same-txn update stays update.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(5, Op::kUpdate), State(5, Op::kUpdate))
+          .ok());
+}
+
+TEST(TupleTransitionTest, LegalTable4Cells) {
+  // Logical delete of a committed tuple.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(3, Op::kInsert), State(5, Op::kDelete))
+          .ok());
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(3, Op::kUpdate), State(5, Op::kDelete))
+          .ok());
+  // Delete of a same-txn update nets to delete.
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(5, Op::kUpdate), State(5, Op::kDelete))
+          .ok());
+  // Delete of a same-txn insert: physical removal (2VNL)...
+  EXPECT_TRUE(
+      CheckTupleTransition(5, State(5, Op::kInsert), std::nullopt).ok());
+  // ...or the nVNL pop back to the pre-transaction stamp.
+  EXPECT_TRUE(CheckTupleTransition(5,
+                                   State(5, Op::kInsert, /*older=*/true),
+                                   State(3, Op::kDelete))
+                  .ok());
+}
+
+// Each impossible cell of Tables 2-4 fires the checker.
+
+TEST(TupleTransitionTest, IllegalInsertOverLiveTuple) {
+  // Table 2, impossible cells: insert conflicting with a live tuple.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kInsert), State(5, Op::kInsert))
+          .ok());
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kUpdate), State(5, Op::kInsert))
+          .ok());
+}
+
+TEST(TupleTransitionTest, IllegalUpdateOfDeletedTuple) {
+  // Table 3, impossible cells: the cursor never yields deleted tuples.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kDelete), State(5, Op::kUpdate))
+          .ok());
+  // Table 4's twin: deleting an already-deleted tuple.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kDelete), State(5, Op::kDelete))
+          .ok());
+  // Same-txn delete followed by anything but the re-insert-as-update.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(5, Op::kDelete), State(5, Op::kDelete))
+          .ok());
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(5, Op::kDelete), State(5, Op::kInsert))
+          .ok());
+}
+
+TEST(TupleTransitionTest, IllegalVersionStamps) {
+  // A mutation must stamp exactly maintenanceVN.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, std::nullopt, State(4, Op::kInsert)).ok());
+  EXPECT_FALSE(
+      CheckTupleTransition(5, std::nullopt, State(6, Op::kInsert)).ok());
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kInsert), State(6, Op::kUpdate))
+          .ok());
+  // A tuple stamped past maintenanceVN means a second writer slipped in.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(6, Op::kInsert), State(5, Op::kUpdate))
+          .ok());
+  // Leaving slot 0 older than maintenanceVN without a legal pop.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kUpdate), State(3, Op::kUpdate))
+          .ok());
+}
+
+TEST(TupleTransitionTest, IllegalPhysicalDeletes) {
+  // Physically destroying committed versions.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(3, Op::kInsert), std::nullopt).ok());
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(5, Op::kUpdate), std::nullopt).ok());
+  EXPECT_FALSE(CheckTupleTransition(5, std::nullopt, std::nullopt).ok());
+  // Deleting a same-txn insert that pushed history back must pop, not
+  // physically remove the tuple.
+  EXPECT_FALSE(CheckTupleTransition(5, State(5, Op::kInsert, true),
+                                    std::nullopt)
+                   .ok());
+}
+
+TEST(TupleTransitionTest, IllegalSameTxnNetEffects) {
+  // insert-then-update may not net to update or delete in place.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(5, Op::kInsert), State(5, Op::kUpdate))
+          .ok());
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(5, Op::kInsert), State(5, Op::kDelete))
+          .ok());
+  // update-then-anything may not net back to insert.
+  EXPECT_FALSE(
+      CheckTupleTransition(5, State(5, Op::kUpdate), State(5, Op::kInsert))
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Reader resolutions (Table 1 / §5).
+
+VersionResolution Res(ReadOutcome outcome, int slot) {
+  return {outcome, slot};
+}
+
+TEST(ReaderResolutionTest, LegalCurrentVersionReads) {
+  const std::vector<SlotStamp> live = {{5, Op::kUpdate}};
+  EXPECT_TRUE(CheckReaderResolution(5, live, 2,
+                                    Res(ReadOutcome::kRow, -1))
+                  .ok());
+  EXPECT_TRUE(CheckReaderResolution(7, live, 2,
+                                    Res(ReadOutcome::kRow, -1))
+                  .ok());
+  const std::vector<SlotStamp> deleted = {{5, Op::kDelete}};
+  EXPECT_TRUE(CheckReaderResolution(5, deleted, 2,
+                                    Res(ReadOutcome::kIgnore, -1))
+                  .ok());
+}
+
+TEST(ReaderResolutionTest, LegalPreUpdateReads) {
+  const std::vector<SlotStamp> updated = {{5, Op::kUpdate}};
+  EXPECT_TRUE(CheckReaderResolution(4, updated, 2,
+                                    Res(ReadOutcome::kRow, 0))
+                  .ok());
+  const std::vector<SlotStamp> inserted = {{5, Op::kInsert}};
+  EXPECT_TRUE(CheckReaderResolution(4, inserted, 2,
+                                    Res(ReadOutcome::kIgnore, 0))
+                  .ok());
+  EXPECT_TRUE(CheckReaderResolution(3, inserted, 2,
+                                    Res(ReadOutcome::kExpired, 0))
+                  .ok());
+}
+
+TEST(ReaderResolutionTest, IllegalCurrentVersionDecisions) {
+  const std::vector<SlotStamp> live = {{5, Op::kUpdate}};
+  // Serving the pre-update version to a session that saw slot 0 commit.
+  EXPECT_FALSE(CheckReaderResolution(5, live, 2,
+                                     Res(ReadOutcome::kRow, 0))
+                   .ok());
+  // Skipping a live current version.
+  EXPECT_FALSE(CheckReaderResolution(5, live, 2,
+                                     Res(ReadOutcome::kIgnore, -1))
+                   .ok());
+  // Surfacing a deleted current version.
+  const std::vector<SlotStamp> deleted = {{5, Op::kDelete}};
+  EXPECT_FALSE(CheckReaderResolution(5, deleted, 2,
+                                     Res(ReadOutcome::kRow, -1))
+                   .ok());
+}
+
+TEST(ReaderResolutionTest, IllegalPreUpdateDecisions) {
+  const std::vector<SlotStamp> updated = {{5, Op::kUpdate}};
+  // Surfacing a version from before the tuple's insert.
+  const std::vector<SlotStamp> inserted = {{5, Op::kInsert}};
+  EXPECT_FALSE(CheckReaderResolution(4, inserted, 2,
+                                     Res(ReadOutcome::kRow, 0))
+                   .ok());
+  // Ignoring a pre-update version that did exist.
+  EXPECT_FALSE(CheckReaderResolution(4, updated, 2,
+                                     Res(ReadOutcome::kIgnore, 0))
+                   .ok());
+  // Expiring a session that can still read the pre-update version.
+  EXPECT_FALSE(CheckReaderResolution(4, updated, 2,
+                                     Res(ReadOutcome::kExpired, 0))
+                   .ok());
+  // Serving a 2VNL session older than the retained history.
+  EXPECT_FALSE(CheckReaderResolution(3, updated, 2,
+                                     Res(ReadOutcome::kRow, 0))
+                   .ok());
+}
+
+TEST(ReaderResolutionTest, NVnlSlotSelection) {
+  // n = 4: three slots, VNs 7 (newest), 5, 3.
+  const std::vector<SlotStamp> slots = {
+      {7, Op::kUpdate}, {5, Op::kUpdate}, {3, Op::kInsert}};
+  // Session at 6 reads slot 0's pre-update version.
+  EXPECT_TRUE(CheckReaderResolution(6, slots, 4,
+                                    Res(ReadOutcome::kRow, 0))
+                  .ok());
+  // Session at 4 reads slot 1's.
+  EXPECT_TRUE(CheckReaderResolution(4, slots, 4,
+                                    Res(ReadOutcome::kRow, 1))
+                  .ok());
+  // Session at 2 predates the insert: the tuple did not exist.
+  EXPECT_TRUE(CheckReaderResolution(2, slots, 4,
+                                    Res(ReadOutcome::kIgnore, 2))
+                  .ok());
+  // Resolving the wrong slot fires.
+  EXPECT_FALSE(CheckReaderResolution(4, slots, 4,
+                                     Res(ReadOutcome::kRow, 0))
+                   .ok());
+  EXPECT_FALSE(CheckReaderResolution(6, slots, 4,
+                                     Res(ReadOutcome::kRow, 1))
+                   .ok());
+  // All slots full: a session older than the truncation horizon expires.
+  EXPECT_FALSE(CheckReaderResolution(1, slots, 4,
+                                     Res(ReadOutcome::kRow, 2))
+                   .ok());
+  EXPECT_TRUE(CheckReaderResolution(1, slots, 4,
+                                    Res(ReadOutcome::kExpired, 2))
+                  .ok());
+  // Free slots + oldest record is the insert: full history is present,
+  // expiring would be premature.
+  const std::vector<SlotStamp> partial = {{7, Op::kUpdate},
+                                          {5, Op::kInsert}};
+  EXPECT_FALSE(CheckReaderResolution(2, partial, 4,
+                                     Res(ReadOutcome::kExpired, 1))
+                   .ok());
+  EXPECT_TRUE(CheckReaderResolution(2, partial, 4,
+                                    Res(ReadOutcome::kIgnore, 1))
+                  .ok());
+}
+
+TEST(ReaderResolutionTest, MalformedTuples) {
+  EXPECT_FALSE(CheckReaderResolution(5, {}, 2,
+                                     Res(ReadOutcome::kRow, -1))
+                   .ok());
+  // More populated slots than the arity allows.
+  const std::vector<SlotStamp> overfull = {{5, Op::kUpdate},
+                                           {3, Op::kUpdate}};
+  EXPECT_FALSE(CheckReaderResolution(5, overfull, 2,
+                                     Res(ReadOutcome::kRow, -1))
+                   .ok());
+  // Slots out of order.
+  const std::vector<SlotStamp> disordered = {
+      {3, Op::kUpdate}, {5, Op::kUpdate}, {4, Op::kInsert}};
+  EXPECT_FALSE(CheckReaderResolution(6, disordered, 4,
+                                     Res(ReadOutcome::kRow, -1))
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// The checker agrees with the engine's own resolution on every reachable
+// (sessionVN, tupleVN, operation) combination — the hooks must never fire
+// on a correct engine.
+
+TEST(ReaderResolutionTest, AcceptsEveryEngineDecision2Vnl) {
+  for (Vn tuple_vn = 1; tuple_vn <= 6; ++tuple_vn) {
+    for (Vn session_vn = 0; session_vn <= 7; ++session_vn) {
+      for (Op op : {Op::kInsert, Op::kUpdate, Op::kDelete}) {
+        const std::vector<SlotStamp> slots = {{tuple_vn, op}};
+        // Mirror DecideRead through the VersionResolution shape the
+        // engine produces.
+        const ReaderAction action = DecideRead(session_vn, tuple_vn, op);
+        VersionResolution res;
+        switch (action) {
+          case ReaderAction::kReadCurrent:
+            res = {ReadOutcome::kRow, -1};
+            break;
+          case ReaderAction::kReadPreUpdate:
+            res = {ReadOutcome::kRow, 0};
+            break;
+          case ReaderAction::kIgnore:
+            res = {ReadOutcome::kIgnore, session_vn >= tuple_vn ? -1 : 0};
+            break;
+          case ReaderAction::kExpired:
+            res = {ReadOutcome::kExpired, 0};
+            break;
+        }
+        const Status s = CheckReaderResolution(session_vn, slots, 2, res);
+        EXPECT_TRUE(s.ok())
+            << "sessionVN=" << session_vn << " tupleVN=" << tuple_vn
+            << " op=" << OpToString(op) << ": " << s.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wvm::core
