@@ -63,6 +63,42 @@ Row Schema::KeyOf(const Row& row) const {
   return key;
 }
 
+Status Schema::AddSecondaryIndex(
+    std::string index_name, const std::vector<std::string>& column_names) {
+  if (column_names.empty()) {
+    return Status::InvalidArgument("secondary index needs at least one column");
+  }
+  for (const SecondaryIndexSpec& spec : secondary_indexes_) {
+    if (EqualsIgnoreCaseAscii(spec.name, index_name)) {
+      return Status::AlreadyExists("secondary index '" + index_name +
+                                   "' already declared");
+    }
+  }
+  SecondaryIndexSpec spec;
+  spec.name = std::move(index_name);
+  for (const std::string& name : column_names) {
+    WVM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+    if (columns_[idx].updatable) {
+      // §4.3: only non-updatable attributes keep the index maintenance-free
+      // under in-place version updates.
+      return Status::InvalidArgument(
+          "secondary index over updatable column '" + name +
+          "' would require maintenance on every version update (§4.3)");
+    }
+    spec.column_indices.push_back(idx);
+  }
+  secondary_indexes_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Row Schema::SecondaryKeyOf(const Row& row,
+                           const SecondaryIndexSpec& spec) const {
+  Row key;
+  key.reserve(spec.column_indices.size());
+  for (size_t i : spec.column_indices) key.push_back(row[i]);
+  return key;
+}
+
 Status Schema::ValidateRow(const Row& row) const {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(StrPrintf(
@@ -107,6 +143,16 @@ std::string Schema::ToString() const {
 bool Schema::operator==(const Schema& other) const {
   if (columns_.size() != other.columns_.size()) return false;
   if (key_indices_ != other.key_indices_) return false;
+  if (secondary_indexes_.size() != other.secondary_indexes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < secondary_indexes_.size(); ++i) {
+    if (secondary_indexes_[i].name != other.secondary_indexes_[i].name ||
+        secondary_indexes_[i].column_indices !=
+            other.secondary_indexes_[i].column_indices) {
+      return false;
+    }
+  }
   for (size_t i = 0; i < columns_.size(); ++i) {
     const Column& a = columns_[i];
     const Column& b = other.columns_[i];
@@ -188,6 +234,21 @@ Value DecodeValue(const Column& col, const uint8_t* slot) {
 }
 
 }  // namespace
+
+Value NormalizeValueForColumn(const Column& col, const Value& v) {
+  if (v.is_null()) return Value::Null(col.type);
+  // Encode/decode through the column codec: whatever survives the round
+  // trip is by definition what a heap-deserialized row would carry.
+  uint8_t buf[256];
+  std::vector<uint8_t> heap_buf;
+  uint8_t* slot = buf;
+  if (col.width > sizeof(buf)) {
+    heap_buf.resize(col.width);
+    slot = heap_buf.data();
+  }
+  EncodeValue(col, v, slot);
+  return DecodeValue(col, slot);
+}
 
 void SerializeRow(const Schema& schema, const Row& row, uint8_t* out) {
   WVM_CHECK(row.size() == schema.num_columns());

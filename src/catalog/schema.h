@@ -42,6 +42,16 @@ struct Column {
   }
 };
 
+// A declared secondary hash index over non-updatable columns (§4.3): under
+// 2VNL, in-place version updates never change these attributes, so the
+// index needs maintenance only on physical insert/delete — it costs the
+// maintenance transaction nothing on the update-heavy path. Typical use:
+// the group-by prefix of a summary table.
+struct SecondaryIndexSpec {
+  std::string name;
+  std::vector<size_t> column_indices;  // schema positions, declared order
+};
+
 // Relation schema: ordered columns plus an optional unique key (for summary
 // tables the key is the set of group-by attributes, which are never
 // updatable — §3.1).
@@ -81,6 +91,18 @@ class Schema {
   // Extracts the key values of `row` in key-index order.
   Row KeyOf(const Row& row) const;
 
+  // Declares a secondary hash index over `column_names` (§4.3). Every
+  // column must exist and be non-updatable — an index over an updatable
+  // attribute would need maintenance on every in-place version update,
+  // which defeats the design; such declarations are rejected.
+  Status AddSecondaryIndex(std::string index_name,
+                           const std::vector<std::string>& column_names);
+  const std::vector<SecondaryIndexSpec>& secondary_indexes() const {
+    return secondary_indexes_;
+  }
+  // Extracts the values of `row` the index covers, in declared order.
+  Row SecondaryKeyOf(const Row& row, const SecondaryIndexSpec& spec) const;
+
   // Validates that `row` matches the schema arity and column types
   // (NULLs are allowed for any column).
   Status ValidateRow(const Row& row) const;
@@ -93,7 +115,15 @@ class Schema {
   std::vector<Column> columns_;
   std::vector<size_t> key_indices_;
   std::vector<size_t> offsets_;  // per-column slot offsets, bitmap included
+  std::vector<SecondaryIndexSpec> secondary_indexes_;
 };
+
+// Canonicalizes `v` to the value the column would hold after a storage
+// round trip (strings truncated to the declared width and cut at the first
+// NUL, NULLs retyped to the column type). Index keys must be normalized
+// this way so probes with in-memory values agree with keys extracted from
+// heap-deserialized rows.
+Value NormalizeValueForColumn(const Column& col, const Value& v);
 
 // Serializes `row` into exactly schema.RowByteSize() bytes at `out`.
 // Layout: null bitmap, then fixed-width column slots in schema order.

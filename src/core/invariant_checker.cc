@@ -24,6 +24,32 @@ Status CheckWriterProtocol(Vn maintenance_vn, Vn current_vn) {
   return Status::OK();
 }
 
+Status CheckSecondaryIndexMutation(PhysicalAction action,
+                                   const std::optional<Op>& before_op,
+                                   const std::optional<Op>& new_op) {
+  (void)new_op;
+  switch (action) {
+    case PhysicalAction::kInsertTuple:
+    case PhysicalAction::kDeleteTuple:
+      // A tuple physically appearing/disappearing legitimately moves
+      // postings for every index, §4.3 notwithstanding.
+      return Status::OK();
+    case PhysicalAction::kUpdateTuple:
+      if (before_op.has_value() && *before_op == Op::kDelete) {
+        // Table-2 re-insert over a logically deleted key: executed as a
+        // physical update (netting to insert across transactions, or to
+        // update within one), but the tuple's logical identity is new and
+        // its non-updatable attributes may change — postings must follow.
+        return Status::OK();
+      }
+      return Status::Internal(
+          "secondary-index postings mutated by an in-place version update: "
+          "indexes over non-updatable attributes are maintenance-free for "
+          "logical updates and deletes (§4.3)");
+  }
+  return Status::Internal("bad physical action");
+}
+
 Status CheckTupleTransition(Vn maintenance_vn,
                             const std::optional<TupleVersionState>& before,
                             const std::optional<TupleVersionState>& after) {

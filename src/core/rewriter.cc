@@ -1,5 +1,7 @@
 #include "core/rewriter.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -173,6 +175,143 @@ Result<sql::SelectStmt> RewriteReaderQuery(
       BuildVisibilityPredicate(vschema, options.session_param);
   out.where = sql::AndMaybe(std::move(visibility), std::move(out.where));
   return out;
+}
+
+namespace {
+
+// One `col = literal-or-param` leaf. Resolves the bound value, normalized
+// through the column codec. False when the expression is not that shape or
+// the value cannot be matched losslessly against stored keys.
+bool BindEqualityLeaf(const sql::Expr& e, const Schema& schema,
+                      const query::ParamMap& params, size_t* col_out,
+                      Value* value_out) {
+  if (e.kind != sql::ExprKind::kBinary ||
+      e.binary_op != sql::BinaryOp::kEq) {
+    return false;
+  }
+  const sql::Expr* lhs = e.child0.get();
+  const sql::Expr* rhs = e.child1.get();
+  auto is_const = [](const sql::Expr* x) {
+    return x->kind == sql::ExprKind::kLiteral ||
+           x->kind == sql::ExprKind::kParam;
+  };
+  if (lhs->kind != sql::ExprKind::kColumnRef || !is_const(rhs)) {
+    if (rhs->kind == sql::ExprKind::kColumnRef && is_const(lhs)) {
+      std::swap(lhs, rhs);  // kEq is symmetric
+    } else {
+      return false;
+    }
+  }
+  Result<size_t> idx = schema.IndexOf(lhs->column);
+  if (!idx.ok()) return false;
+  Value v;
+  if (rhs->kind == sql::ExprKind::kLiteral) {
+    v = rhs->literal;
+  } else {
+    auto it = params.find(rhs->param);
+    if (it == params.end()) return false;  // scan path reports the error
+    v = it->second;
+  }
+  if (v.is_null()) return false;  // NULL = x never matches anything
+
+  const Column& col = schema.column(idx.value());
+  switch (col.type) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      // Cross-width int equality agrees with the hash index (Values hash
+      // and compare ints by int64). A double comparand can be SQL-equal
+      // without hashing equal, so it stays on the scan path.
+      if (v.type() != TypeId::kInt32 && v.type() != TypeId::kInt64) {
+        return false;
+      }
+      break;
+    case TypeId::kString:
+      if (v.type() != TypeId::kString) return false;
+      // An over-width literal can never equal a stored (truncated) value;
+      // the scan path evaluates that to constant-false exactly.
+      if (v.AsString().size() > col.width) return false;
+      break;
+    default:
+      return false;  // bool/date/double: codec vs SQL equality mismatch
+  }
+  *col_out = idx.value();
+  *value_out = NormalizeValueForColumn(col, v);
+  return true;
+}
+
+// Flattens an OR tree whose leaves are all equalities over one single
+// column (the IN-list shape) into that column's candidate values.
+bool CollectOrEqualities(const sql::Expr& e, const Schema& schema,
+                         const query::ParamMap& params, size_t* col_out,
+                         bool* col_set, std::vector<Value>* values) {
+  if (e.kind == sql::ExprKind::kBinary &&
+      e.binary_op == sql::BinaryOp::kOr) {
+    return CollectOrEqualities(*e.child0, schema, params, col_out, col_set,
+                               values) &&
+           CollectOrEqualities(*e.child1, schema, params, col_out, col_set,
+                               values);
+  }
+  size_t col = 0;
+  Value v;
+  if (!BindEqualityLeaf(e, schema, params, &col, &v)) return false;
+  if (*col_set && col != *col_out) return false;  // mixed-column OR
+  *col_out = col;
+  *col_set = true;
+  values->push_back(std::move(v));
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<Row>> BindIndexKeys(
+    const std::vector<const sql::Expr*>& conjuncts, const Schema& schema,
+    const std::vector<size_t>& columns, const query::ParamMap& params,
+    size_t max_candidates) {
+  if (columns.empty()) return std::nullopt;
+  std::vector<std::vector<Value>> candidates(columns.size());
+  for (const sql::Expr* e : conjuncts) {
+    size_t col = 0;
+    bool col_set = false;
+    std::vector<Value> values;
+    if (!CollectOrEqualities(*e, schema, params, &col, &col_set, &values)) {
+      continue;  // not a binding conjunct; it remains an ordinary filter
+    }
+    for (size_t i = 0; i < columns.size(); ++i) {
+      // First binding conjunct per column wins; further conjuncts on the
+      // same column (or declined shapes) still filter every candidate row,
+      // so a superset of the true key set is always correct.
+      if (columns[i] != col || !candidates[i].empty()) continue;
+      for (const Value& v : values) {
+        bool dup = false;
+        for (const Value& u : candidates[i]) dup = dup || u == v;
+        if (!dup) candidates[i].push_back(v);
+      }
+    }
+  }
+  size_t total = 1;
+  for (const std::vector<Value>& c : candidates) {
+    if (c.empty()) return std::nullopt;  // column unbound: no point access
+    if (c.size() > max_candidates / total) return std::nullopt;
+    total *= c.size();
+  }
+  std::vector<Row> keys;
+  keys.reserve(total);
+  std::vector<size_t> pick(columns.size(), 0);
+  for (;;) {
+    Row key;
+    key.reserve(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      key.push_back(candidates[i][pick[i]]);
+    }
+    keys.push_back(std::move(key));
+    size_t i = 0;
+    while (i < columns.size() && ++pick[i] == candidates[i].size()) {
+      pick[i] = 0;
+      ++i;
+    }
+    if (i == columns.size()) break;
+  }
+  return keys;
 }
 
 }  // namespace wvm::core

@@ -1,10 +1,13 @@
 #ifndef OPENWVM_CORE_REWRITER_H_
 #define OPENWVM_CORE_REWRITER_H_
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/versioned_schema.h"
+#include "query/eval.h"
 #include "sql/ast.h"
 
 namespace wvm::core {
@@ -46,6 +49,27 @@ sql::ExprPtr BuildVisibilityPredicate(const VersionedSchema& vschema,
 sql::ExprPtr BuildVersionCase(const VersionedSchema& vschema,
                               size_t logical_col,
                               const std::string& session_param);
+
+// --- Index-routing predicate analysis (§4.3) -------------------------------
+
+// Extracts the candidate index keys a WHERE conjunct set binds for the
+// column positions in `columns`: a `col = literal-or-param` conjunct binds
+// one value; an OR-of-equalities over a single column (the IN-list shape)
+// binds several. The result enumerates the cartesian product of the
+// per-column candidate sets, each entry a Row in `columns` order with
+// values normalized through the column codec (so probing a hash index keyed
+// by heap-deserialized rows is exact).
+//
+// Returns nullopt — caller falls back to the heap scan — when any column
+// stays unbound, a binding's type cannot be matched losslessly to the
+// column (doubles, dates, bools, NULLs, over-width strings), or the product
+// exceeds `max_candidates`. Bindings are an access-path hint only: the
+// caller must still evaluate every conjunct on the candidate rows, so a
+// conservative nullopt is always safe.
+std::optional<std::vector<Row>> BindIndexKeys(
+    const std::vector<const sql::Expr*>& conjuncts, const Schema& schema,
+    const std::vector<size_t>& columns, const query::ParamMap& params,
+    size_t max_candidates = 64);
 
 }  // namespace wvm::core
 

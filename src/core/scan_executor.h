@@ -28,6 +28,11 @@ struct ScanOptions {
   // Worker threads a SnapshotSelect heap pass fans across. 1 = serial.
   int parallelism = 1;
   ScanMergeMode merge = ScanMergeMode::kArrivalOrder;
+  // Route SnapshotSelect through the unique-key / secondary hash indexes
+  // when the WHERE clause binds them with equality (IN-list) conjuncts and
+  // the session is young enough that per-tuple expiration is impossible.
+  // Off forces every query down the heap-scan path (differential testing).
+  bool index_routing = true;
 };
 
 // A small persistent worker pool for partitioned heap scans. Workers are

@@ -30,18 +30,28 @@ struct ScanMetrics {
   uint64_t full_materializations = 0;
   // Scans that ran the partitioned (multi-threaded) heap pass.
   uint64_t parallel_scans = 0;
+  // Index-routed read path (§4.3): hash probes issued (point lookups and
+  // routed SnapshotSelects), rows served out of index candidates, and
+  // SnapshotSelects that skipped the heap pass entirely.
+  uint64_t index_lookups = 0;
+  uint64_t index_served_rows = 0;
+  uint64_t scans_avoided = 0;
 
   std::string ToString() const {
     return StrPrintf(
         "scanned=%llu reconstructed=%llu filtered=%llu emitted=%llu "
-        "bytes_copied=%llu full_materializations=%llu parallel_scans=%llu",
+        "bytes_copied=%llu full_materializations=%llu parallel_scans=%llu "
+        "index_lookups=%llu index_served_rows=%llu scans_avoided=%llu",
         static_cast<unsigned long long>(rows_scanned),
         static_cast<unsigned long long>(rows_reconstructed),
         static_cast<unsigned long long>(rows_filtered),
         static_cast<unsigned long long>(rows_emitted),
         static_cast<unsigned long long>(bytes_copied),
         static_cast<unsigned long long>(full_materializations),
-        static_cast<unsigned long long>(parallel_scans));
+        static_cast<unsigned long long>(parallel_scans),
+        static_cast<unsigned long long>(index_lookups),
+        static_cast<unsigned long long>(index_served_rows),
+        static_cast<unsigned long long>(scans_avoided));
   }
 };
 
@@ -64,6 +74,12 @@ class ScanMetricsSink {
   void RecordParallelScan() {
     parallel_scans_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordIndexRoute(uint64_t lookups, uint64_t served_rows,
+                        uint64_t scans_avoided) {
+    index_lookups_.fetch_add(lookups, std::memory_order_relaxed);
+    index_served_rows_.fetch_add(served_rows, std::memory_order_relaxed);
+    scans_avoided_.fetch_add(scans_avoided, std::memory_order_relaxed);
+  }
 
   ScanMetrics Snapshot() const {
     ScanMetrics m;
@@ -76,6 +92,10 @@ class ScanMetricsSink {
     m.full_materializations =
         full_materializations_.load(std::memory_order_relaxed);
     m.parallel_scans = parallel_scans_.load(std::memory_order_relaxed);
+    m.index_lookups = index_lookups_.load(std::memory_order_relaxed);
+    m.index_served_rows =
+        index_served_rows_.load(std::memory_order_relaxed);
+    m.scans_avoided = scans_avoided_.load(std::memory_order_relaxed);
     return m;
   }
 
@@ -87,6 +107,9 @@ class ScanMetricsSink {
     bytes_copied_.store(0, std::memory_order_relaxed);
     full_materializations_.store(0, std::memory_order_relaxed);
     parallel_scans_.store(0, std::memory_order_relaxed);
+    index_lookups_.store(0, std::memory_order_relaxed);
+    index_served_rows_.store(0, std::memory_order_relaxed);
+    scans_avoided_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -97,6 +120,9 @@ class ScanMetricsSink {
   std::atomic<uint64_t> bytes_copied_{0};
   std::atomic<uint64_t> full_materializations_{0};
   std::atomic<uint64_t> parallel_scans_{0};
+  std::atomic<uint64_t> index_lookups_{0};
+  std::atomic<uint64_t> index_served_rows_{0};
+  std::atomic<uint64_t> scans_avoided_{0};
 };
 
 }  // namespace wvm::core

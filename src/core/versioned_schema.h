@@ -152,6 +152,19 @@ Row MaterializeVersionRaw(const VersionedSchema& vs, const uint8_t* rec,
 Row MaterializeVersion(const VersionedSchema& vs, const Row& phys,
                        const VersionResolution& res);
 
+// Projection-pushdown twins: copy only the logical columns marked in
+// `needed` (size = logical column count; empty = all). Unneeded positions
+// hold typed NULL placeholders, so the row keeps logical arity and every
+// downstream column index stays valid while narrow SELECTs skip the copy
+// (and, on the raw path, the deserialization) of wide unused attributes.
+Row MaterializeVersionProjected(const VersionedSchema& vs, const Row& phys,
+                                const VersionResolution& res,
+                                const std::vector<bool>& needed);
+Row MaterializeVersionRawProjected(const VersionedSchema& vs,
+                                   const uint8_t* rec,
+                                   const VersionResolution& res,
+                                   const std::vector<bool>& needed);
+
 // Implements the paper's Table 1 plus the nVNL case analysis of §5:
 // returns the version of the tuple that was current at `session_vn`.
 // Convenience wrapper over ResolveVersion + MaterializeVersion.

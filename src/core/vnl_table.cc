@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/invariant_checker.h"
+#include "core/rewriter.h"
 #include "core/vnl_engine.h"
 #include "query/eval.h"
 
@@ -21,7 +22,11 @@ VnlTable::VnlTable(std::string name, VersionedSchema vschema,
       phys_(std::make_unique<Table>(name_, vschema_.physical(), pool)),
       sessions_(sessions),
       metrics_(metrics),
-      engine_(engine) {}
+      engine_(engine),
+      secondary_specs_(vschema_.logical().secondary_indexes()) {
+  MutexLock lock(index_mu_);
+  secondary_postings_.resize(secondary_specs_.size());
+}
 
 Status VnlTable::CheckTxn(const MaintenanceTxn* txn) const {
   if (txn == nullptr || !txn->active()) {
@@ -31,29 +36,122 @@ Status VnlTable::CheckTxn(const MaintenanceTxn* txn) const {
   return Status::OK();
 }
 
+Row VnlTable::ExtractNormalizedKey(const Row& row,
+                                   const std::vector<size_t>& cols) const {
+  const Schema& logical = vschema_.logical();
+  Row key;
+  key.reserve(cols.size());
+  for (size_t c : cols) {
+    key.push_back(NormalizeValueForColumn(logical.column(c), row[c]));
+  }
+  return key;
+}
+
+std::vector<Row> VnlTable::SecondaryKeysOf(const Row& row) const {
+  std::vector<Row> keys;
+  keys.reserve(secondary_specs_.size());
+  for (const SecondaryIndexSpec& spec : secondary_specs_) {
+    keys.push_back(ExtractNormalizedKey(row, spec.column_indices));
+  }
+  return keys;
+}
+
 std::optional<Rid> VnlTable::IndexLookup(const Row& key) const {
-  if (!vschema_.logical().has_unique_key()) return std::nullopt;
+  const Schema& logical = vschema_.logical();
+  if (!logical.has_unique_key()) return std::nullopt;
+  // Normalize through the column codec: heap rows only ever carry
+  // round-tripped values, so an over-width probe string must be truncated
+  // the same way to hit.
+  Row normalized;
+  normalized.reserve(key.size());
+  for (size_t i = 0; i < key.size() && i < logical.key_indices().size();
+       ++i) {
+    normalized.push_back(NormalizeValueForColumn(
+        logical.column(logical.key_indices()[i]), key[i]));
+  }
   MutexLock lock(index_mu_);
-  auto it = key_index_.find(key);
+  auto it = key_index_.find(normalized);
   if (it == key_index_.end()) return std::nullopt;
   return it->second;
 }
 
-void VnlTable::IndexInsert(const Row& key, Rid rid) {
-  if (!vschema_.logical().has_unique_key()) return;
+void VnlTable::IndexTupleInserted(const Row& phys, Rid rid) {
+  const Schema& logical = vschema_.logical();
+  const bool has_key = logical.has_unique_key();
+  if (!has_key && secondary_specs_.empty()) return;
   MutexLock lock(index_mu_);
-  key_index_[key] = rid;
+  if (has_key) {
+    key_index_[ExtractNormalizedKey(phys, logical.key_indices())] = rid;
+  }
+  for (size_t s = 0; s < secondary_specs_.size(); ++s) {
+    secondary_postings_[s][ExtractNormalizedKey(
+                               phys, secondary_specs_[s].column_indices)]
+        .push_back(rid);
+  }
 }
 
-void VnlTable::IndexErase(const Row& key) {
-  if (!vschema_.logical().has_unique_key()) return;
+void VnlTable::IndexTupleErased(const Row& phys, Rid rid) {
+  const Schema& logical = vschema_.logical();
+  const bool has_key = logical.has_unique_key();
+  if (!has_key && secondary_specs_.empty()) return;
   MutexLock lock(index_mu_);
-  key_index_.erase(key);
+  if (has_key) {
+    auto it =
+        key_index_.find(ExtractNormalizedKey(phys, logical.key_indices()));
+    // Erase only our own entry: a stale duplicate must never knock out a
+    // live tuple's mapping.
+    if (it != key_index_.end() && it->second == rid) key_index_.erase(it);
+  }
+  for (size_t s = 0; s < secondary_specs_.size(); ++s) {
+    auto it = secondary_postings_[s].find(
+        ExtractNormalizedKey(phys, secondary_specs_[s].column_indices));
+    if (it == secondary_postings_[s].end()) continue;
+    std::vector<Rid>& rids = it->second;
+    rids.erase(std::remove(rids.begin(), rids.end(), rid), rids.end());
+    if (rids.empty()) secondary_postings_[s].erase(it);
+  }
+}
+
+void VnlTable::IndexTupleRevived(const std::vector<Row>& old_secondary_keys,
+                                 const Row& new_phys, Rid rid) {
+  if (secondary_specs_.empty()) return;
+  MutexLock lock(index_mu_);
+  for (size_t s = 0; s < secondary_specs_.size(); ++s) {
+    Row new_key = ExtractNormalizedKey(new_phys,
+                                       secondary_specs_[s].column_indices);
+    if (RowEq()(old_secondary_keys[s], new_key)) continue;
+    auto it = secondary_postings_[s].find(old_secondary_keys[s]);
+    if (it != secondary_postings_[s].end()) {
+      std::vector<Rid>& rids = it->second;
+      rids.erase(std::remove(rids.begin(), rids.end(), rid), rids.end());
+      if (rids.empty()) secondary_postings_[s].erase(it);
+    }
+    secondary_postings_[s][std::move(new_key)].push_back(rid);
+  }
 }
 
 Status VnlTable::ApplyDecision(MaintenanceTxn* txn,
                                const MaintenanceDecision& d, Rid rid,
                                Row phys, const Row* mv_logical) {
+  // A Table-2 re-insert over a logically deleted key executes as a
+  // physical UPDATE whose SetCurrent may overwrite non-updatable columns
+  // (the corpse's values are dead). This holds for both the cross-
+  // transaction revive (nets to insert) and a same-transaction
+  // delete-then-insert (nets to update), so the trigger is the before
+  // image being logically deleted. Capture the old secondary keys before
+  // the mutation steps below clobber them.
+  bool revive = false;
+  std::optional<Op> before_op;
+  if (d.action != PhysicalAction::kInsertTuple) {
+    WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+    before_op = op;
+    revive = d.action == PhysicalAction::kUpdateTuple && d.cv_from_mv &&
+             op == Op::kDelete;
+  }
+  std::vector<Row> old_secondary_keys;
+  if (revive && !secondary_specs_.empty()) {
+    old_secondary_keys = SecondaryKeysOf(phys);
+  }
 #ifdef WVM_PARANOID_CHECKS
   // For non-insert actions `phys` still holds the pre-mutation image here;
   // a fresh insert has no "before" (MakeInsertRow built `phys` from air).
@@ -102,18 +200,34 @@ Status VnlTable::ApplyDecision(MaintenanceTxn* txn,
   switch (d.action) {
     case PhysicalAction::kInsertTuple: {
       WVM_ASSIGN_OR_RETURN(Rid new_rid, phys_->InsertRow(phys));
-      IndexInsert(vschema_.logical().KeyOf(phys), new_rid);
+      WVM_PARANOID_ASSERT_OK(
+          CheckSecondaryIndexMutation(d.action, before_op, d.new_op));
+      IndexTupleInserted(phys, new_rid);
       ++txn->stats_.physical_inserts;
       return Status::OK();
     }
     case PhysicalAction::kUpdateTuple: {
       WVM_RETURN_IF_ERROR(phys_->UpdateRow(rid, phys));
+      if (revive) {
+        WVM_PARANOID_ASSERT_OK(
+            CheckSecondaryIndexMutation(d.action, before_op, d.new_op));
+        if (!secondary_specs_.empty()) {
+          IndexTupleRevived(old_secondary_keys, phys, rid);
+        }
+      }
+      // Plain in-place version updates never touch postings: indexes cover
+      // only non-updatable attributes (§4.3).
       ++txn->stats_.physical_updates;
       return Status::OK();
     }
     case PhysicalAction::kDeleteTuple: {
+      // Erase the postings before the heap slot disappears: readers that
+      // probe the index either see the posting and a live slot, or
+      // neither.
+      WVM_PARANOID_ASSERT_OK(
+          CheckSecondaryIndexMutation(d.action, before_op, d.new_op));
+      IndexTupleErased(phys, rid);
       WVM_RETURN_IF_ERROR(phys_->DeleteRow(rid));
-      IndexErase(vschema_.logical().KeyOf(phys));
       ++txn->stats_.physical_deletes;
       return Status::OK();
     }
@@ -329,15 +443,32 @@ Result<std::vector<Row>> VnlTable::MaintenanceRows(
   return rows;
 }
 
+namespace {
+
+// Logical payload bytes a projected materialization actually copies: the
+// summed widths of the kept columns (everything when the mask is empty).
+uint64_t ProjectedAttributeBytes(const Schema& logical,
+                                 const std::vector<bool>& projection) {
+  if (projection.empty()) return logical.AttributeBytes();
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < logical.num_columns() && i < projection.size();
+       ++i) {
+    if (projection[i]) bytes += logical.column(i).width;
+  }
+  return bytes;
+}
+
+}  // namespace
+
 Status VnlTable::StreamSnapshot(
     const ReaderSession& session,
     const std::vector<const sql::Expr*>& invariant_filter,
     const std::vector<const sql::Expr*>& reconstructed_filter,
-    const query::ParamMap& params,
+    const query::ParamMap& params, const std::vector<bool>& projection,
     const std::function<bool(const Row&)>& sink,
     SnapshotScanStats* stats) const {
   const Schema& logical = vschema_.logical();
-  const uint64_t logical_bytes = logical.AttributeBytes();
+  const uint64_t logical_bytes = ProjectedAttributeBytes(logical, projection);
   uint64_t scanned = 0;
   uint64_t reconstructed = 0;
   uint64_t filtered = 0;
@@ -383,7 +514,7 @@ Status VnlTable::StreamSnapshot(
         return true;
       }
     }
-    Row out = MaterializeVersion(vschema_, phys, res);
+    Row out = MaterializeVersionProjected(vschema_, phys, res, projection);
     ++reconstructed;
     for (const sql::Expr* e : reconstructed_filter) {
       Result<bool> keep = query::EvalPredicate(*e, logical, out, params);
@@ -588,7 +719,7 @@ Status VnlTable::StreamSnapshotParallel(
     const ReaderSession& session,
     const std::vector<const sql::Expr*>& invariant_filter,
     const std::vector<const sql::Expr*>& reconstructed_filter,
-    const query::ParamMap& params,
+    const query::ParamMap& params, const std::vector<bool>& projection,
     const std::function<bool(const Row&)>& sink,
     SnapshotScanStats* stats, const ScanOptions& opts) const {
   ScanExecutor* exec =
@@ -599,7 +730,7 @@ Status VnlTable::StreamSnapshotParallel(
                        pages.size()));
   if (exec == nullptr || nparts <= 1) {
     return StreamSnapshot(session, invariant_filter, reconstructed_filter,
-                          params, sink, stats);
+                          params, projection, sink, stats);
   }
 
   // Lower eligible invariant conjuncts to byte comparisons once per scan;
@@ -637,7 +768,7 @@ Status VnlTable::StreamSnapshotParallel(
     // completion, so those outlive the job.
     exec->Submit([this, state, p, slice = std::move(slice), heap,
                   session_vn, &compiled, &generic_invariant,
-                  &reconstructed_filter, &params, &logical]() {
+                  &reconstructed_filter, &params, &logical, &projection]() {
       ParallelScanState::Partition& part = state->partitions[p];
       heap->ScanPages(slice, [&](Rid, const uint8_t* rec) {
         if (state->cancel.load(std::memory_order_relaxed)) return false;
@@ -684,7 +815,8 @@ Status VnlTable::StreamSnapshotParallel(
             }
           }
         }
-        Row out = MaterializeVersionRaw(vschema_, rec, res);
+        Row out =
+            MaterializeVersionRawProjected(vschema_, rec, res, projection);
         ++part.reconstructed;
         for (const sql::Expr* e : reconstructed_filter) {
           Result<bool> keep =
@@ -766,8 +898,9 @@ Status VnlTable::StreamSnapshotParallel(
     if (status.ok() && !part.status.ok()) status = part.status;
   }
   if (metrics_ != nullptr) {
-    metrics_->RecordScan(scanned, reconstructed, filtered, emitted,
-                         reconstructed * logical.AttributeBytes());
+    metrics_->RecordScan(
+        scanned, reconstructed, filtered, emitted,
+        reconstructed * ProjectedAttributeBytes(logical, projection));
     metrics_->RecordParallelScan();
   }
   return status;
@@ -776,7 +909,7 @@ Status VnlTable::StreamSnapshotParallel(
 Status VnlTable::SnapshotScan(const ReaderSession& session,
                               const std::function<bool(const Row&)>& sink,
                               SnapshotScanStats* stats) const {
-  return StreamSnapshot(session, {}, {}, {}, sink, stats);
+  return StreamSnapshot(session, {}, {}, {}, {}, sink, stats);
 }
 
 Result<std::vector<Row>> VnlTable::SnapshotRows(
@@ -798,18 +931,39 @@ Result<std::vector<Row>> VnlTable::SnapshotRows(
 Result<std::optional<Row>> VnlTable::SnapshotLookup(
     const ReaderSession& session, const Row& key,
     SnapshotScanStats* stats) const {
-  if (!vschema_.logical().has_unique_key()) {
+  const Schema& logical = vschema_.logical();
+  if (!logical.has_unique_key()) {
     return Status::FailedPrecondition("table has no unique key");
   }
+  if (stats != nullptr) ++stats->index_lookups;
   std::optional<Rid> rid = IndexLookup(key);
-  if (!rid.has_value()) return std::optional<Row>();
+  if (!rid.has_value()) {
+    if (metrics_ != nullptr) metrics_->RecordIndexRoute(1, 0, 0);
+    return std::optional<Row>();
+  }
   Result<Row> phys = phys_->GetRow(*rid);
   if (!phys.ok()) {
     // Physically reclaimed between index lookup and read: invisible.
     if (phys.status().code() == StatusCode::kNotFound) {
+      if (metrics_ != nullptr) metrics_->RecordIndexRoute(1, 0, 0);
       return std::optional<Row>();
     }
     return phys.status();
+  }
+  // Slot-reuse guard: between the probe and the read, GC may reclaim the
+  // tuple and an insert may recycle its Rid for a different key. The row
+  // actually fetched must still carry the probed key, else the probed key
+  // is (for this race window) simply absent.
+  Row probe;
+  probe.reserve(logical.key_indices().size());
+  for (size_t i = 0; i < logical.key_indices().size() && i < key.size();
+       ++i) {
+    probe.push_back(NormalizeValueForColumn(
+        logical.column(logical.key_indices()[i]), key[i]));
+  }
+  if (!RowEq()(probe, ExtractNormalizedKey(*phys, logical.key_indices()))) {
+    if (metrics_ != nullptr) metrics_->RecordIndexRoute(1, 0, 0);
+    return std::optional<Row>();
   }
   const VersionResolution res =
       ResolveVersion(vschema_, *phys, session.session_vn);
@@ -819,17 +973,21 @@ Result<std::optional<Row>> VnlTable::SnapshotLookup(
     case ReadOutcome::kRow: {
       if (stats != nullptr) {
         ++(res.slot < 0 ? stats->current_reads : stats->pre_update_reads);
+        ++stats->index_served_rows;
       }
       Row out = MaterializeVersion(vschema_, *phys, res);
       if (metrics_ != nullptr) {
-        metrics_->RecordScan(1, 1, 0, 1,
-                             vschema_.logical().AttributeBytes());
+        metrics_->RecordScan(1, 1, 0, 1, logical.AttributeBytes());
+        metrics_->RecordIndexRoute(1, 1, 0);
       }
       return std::optional<Row>(std::move(out));
     }
     case ReadOutcome::kIgnore:
       if (stats != nullptr) ++stats->ignored;
-      if (metrics_ != nullptr) metrics_->RecordScan(1, 0, 0, 0, 0);
+      if (metrics_ != nullptr) {
+        metrics_->RecordScan(1, 0, 0, 0, 0);
+        metrics_->RecordIndexRoute(1, 0, 0);
+      }
       return std::optional<Row>();
     case ReadOutcome::kExpired:
       return Status::SessionExpired("session expired during lookup");
@@ -867,17 +1025,200 @@ Result<query::QueryResult> VnlTable::SnapshotSelect(
     (touches_updatable ? reconstructed : invariant).push_back(&conjunct);
     return true;
   };
+  std::vector<bool> projection;
+  source.project = [&](const std::vector<bool>& needed) {
+    projection = needed;
+    if (projection.empty()) return;
+    // The scan evaluates the absorbed `reconstructed` conjuncts on the
+    // materialized row itself, so their columns must survive projection
+    // even when the SELECT list never mentions them. (`invariant`
+    // conjuncts run on the physical row before materialization and need
+    // nothing kept.)
+    for (const sql::Expr* e : reconstructed) {
+      sql::ForEachColumnRef(*e, [&](const sql::Expr& ref) {
+        Result<size_t> idx = logical.IndexOf(ref.column);
+        if (idx.ok() && idx.value() < projection.size()) {
+          projection[idx.value()] = true;
+        }
+      });
+    }
+  };
   source.scan = [&](const std::function<bool(const Row&)>& sink) {
     const ScanOptions opts =
         engine_ != nullptr ? engine_->scan_options() : ScanOptions{};
+    if (opts.index_routing) {
+      Status routed;
+      if (TryStreamViaIndex(session, invariant, reconstructed, params,
+                            projection, sink, stats, &routed)) {
+        return routed;
+      }
+    }
     if (opts.parallelism > 1) {
       return StreamSnapshotParallel(session, invariant, reconstructed,
-                                    params, sink, stats, opts);
+                                    params, projection, sink, stats, opts);
     }
-    return StreamSnapshot(session, invariant, reconstructed, params, sink,
-                          stats);
+    return StreamSnapshot(session, invariant, reconstructed, params,
+                          projection, sink, stats);
   };
   return query::ExecuteSelect(stmt, logical, source, params);
+}
+
+bool VnlTable::TryStreamViaIndex(
+    const ReaderSession& session,
+    const std::vector<const sql::Expr*>& invariant_filter,
+    const std::vector<const sql::Expr*>& reconstructed_filter,
+    const query::ParamMap& params, const std::vector<bool>& projection,
+    const std::function<bool(const Row&)>& sink, SnapshotScanStats* stats,
+    Status* status) const {
+  if (engine_ == nullptr) return false;
+  const Schema& logical = vschema_.logical();
+  // Eligibility: with gap = currentVN - sessionVN in [0, n-2], every slot
+  // VN a reader can meet is inside the retained window, so no tuple can
+  // resolve kExpired and skipping unprobed tuples cannot change the read's
+  // status. Older sessions must take the scan path, which decides
+  // expiration on every heap tuple — including ones the WHERE rejects —
+  // keeping the two paths status-identical.
+  const Vn gap = engine_->current_vn() - session.session_vn;
+  if (gap < 0 || gap > static_cast<Vn>(vschema_.n() - 2)) return false;
+
+  // Bindings are access-path hints only: every absorbed conjunct is
+  // re-evaluated on each candidate below, so a superset of the matching
+  // keys is safe. The unique key wins over secondary indexes (at most one
+  // candidate per bound key).
+  std::vector<Rid> candidates;
+  uint64_t lookups = 0;
+  bool bound = false;
+  if (logical.has_unique_key()) {
+    std::optional<std::vector<Row>> keys = BindIndexKeys(
+        invariant_filter, logical, logical.key_indices(), params);
+    if (keys.has_value()) {
+      bound = true;
+      MutexLock lock(index_mu_);
+      for (const Row& k : *keys) {
+        ++lookups;
+        auto it = key_index_.find(k);
+        if (it != key_index_.end()) candidates.push_back(it->second);
+      }
+    }
+  }
+  if (!bound) {
+    for (size_t s = 0; s < secondary_specs_.size() && !bound; ++s) {
+      std::optional<std::vector<Row>> keys = BindIndexKeys(
+          invariant_filter, logical, secondary_specs_[s].column_indices,
+          params);
+      if (!keys.has_value()) continue;
+      bound = true;
+      MutexLock lock(index_mu_);
+      for (const Row& k : *keys) {
+        ++lookups;
+        auto it = secondary_postings_[s].find(k);
+        if (it == secondary_postings_[s].end()) continue;
+        candidates.insert(candidates.end(), it->second.begin(),
+                          it->second.end());
+      }
+    }
+  }
+  if (!bound) return false;
+
+  // Emit in heap order (page position, then slot) so the routed stream is
+  // byte-identical to the serial scan's. Pages a candidate no longer
+  // belongs to sort last and resolve to kNotFound below.
+  const std::vector<PageId> pages = phys_->heap()->PageIds();
+  std::unordered_map<PageId, size_t> page_pos;
+  page_pos.reserve(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) page_pos.emplace(pages[i], i);
+  std::sort(candidates.begin(), candidates.end(), [&](Rid a, Rid b) {
+    auto ia = page_pos.find(a.page_id);
+    auto ib = page_pos.find(b.page_id);
+    const size_t pa = ia == page_pos.end() ? pages.size() : ia->second;
+    const size_t pb = ib == page_pos.end() ? pages.size() : ib->second;
+    if (pa != pb) return pa < pb;
+    return a.slot < b.slot;
+  });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const uint64_t projected_bytes =
+      ProjectedAttributeBytes(logical, projection);
+  uint64_t scanned = 0;
+  uint64_t reconstructed = 0;
+  uint64_t filtered = 0;
+  uint64_t emitted = 0;
+  Status st;
+  for (Rid rid : candidates) {
+    Result<Row> phys = phys_->GetRow(rid);
+    if (!phys.ok()) {
+      // Reclaimed between probe and read: the scan would not have seen it
+      // either.
+      if (phys.status().code() == StatusCode::kNotFound) continue;
+      st = phys.status();
+      break;
+    }
+    ++scanned;
+    const VersionResolution res =
+        ResolveVersion(vschema_, *phys, session.session_vn);
+    WVM_PARANOID_ASSERT_OK(CheckReaderResolutionRow(
+        vschema_, *phys, session.session_vn, res));
+    if (res.outcome == ReadOutcome::kIgnore) {
+      if (stats != nullptr) ++stats->ignored;
+      continue;
+    }
+    if (res.outcome == ReadOutcome::kExpired) {
+      // Unreachable under the gap guard; kept with the scan path's exact
+      // message so a defect here is indistinguishable to callers.
+      st = Status::SessionExpired(StrPrintf(
+          "session at VN %lld hit a tuple modified more than %d "
+          "maintenance transactions ago",
+          static_cast<long long>(session.session_vn), vschema_.n() - 1));
+      break;
+    }
+    if (stats != nullptr) {
+      ++(res.slot < 0 ? stats->current_reads : stats->pre_update_reads);
+    }
+    bool keep = true;
+    for (const sql::Expr* e : invariant_filter) {
+      Result<bool> k = query::EvalPredicate(*e, logical, *phys, params);
+      if (!k.ok()) {
+        st = k.status();
+        break;
+      }
+      if (!k.value()) {
+        ++filtered;
+        keep = false;
+        break;
+      }
+    }
+    if (!st.ok()) break;
+    if (!keep) continue;
+    Row out = MaterializeVersionProjected(vschema_, *phys, res, projection);
+    ++reconstructed;
+    for (const sql::Expr* e : reconstructed_filter) {
+      Result<bool> k = query::EvalPredicate(*e, logical, out, params);
+      if (!k.ok()) {
+        st = k.status();
+        break;
+      }
+      if (!k.value()) {
+        keep = false;
+        break;
+      }
+    }
+    if (!st.ok()) break;
+    if (!keep) continue;
+    ++emitted;
+    if (!sink(out)) break;
+  }
+  if (stats != nullptr) {
+    stats->index_lookups += lookups;
+    stats->index_served_rows += emitted;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->RecordScan(scanned, reconstructed, filtered, emitted,
+                         reconstructed * projected_bytes);
+    metrics_->RecordIndexRoute(lookups, emitted, 1);
+  }
+  *status = st;
+  return true;
 }
 
 Result<bool> VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
@@ -901,8 +1242,8 @@ Result<bool> VnlTable::RollbackTxn(Vn txn_vn, Vn current_vn) {
         vschema_.PushForward(&phys);
         WVM_RETURN_IF_ERROR(phys_->UpdateRow(rid, phys));
       } else {
+        IndexTupleErased(phys, rid);
         WVM_RETURN_IF_ERROR(phys_->DeleteRow(rid));
-        IndexErase(vschema_.logical().KeyOf(phys));
         // A 2VNL insert over a logically deleted key destroyed the
         // pre-delete values; older sessions cannot be reconstructed.
         // A genuinely fresh insert is lossless, but the two cases are
@@ -958,8 +1299,12 @@ Result<size_t> VnlTable::CollectGarbage(Vn current_vn,
   });
   WVM_RETURN_IF_ERROR(status);
   for (auto& [rid, phys] : victims) {
+    // Postings go first, atomically with reclamation from a reader's view:
+    // GC runs under the engine mutex (no concurrent maintenance), so an
+    // index probe sees either the posting plus a live heap slot, or
+    // neither — never a posting whose slot has been reused.
+    IndexTupleErased(phys, rid);
     WVM_RETURN_IF_ERROR(phys_->DeleteRow(rid));
-    IndexErase(vschema_.logical().KeyOf(phys));
   }
   return victims.size();
 }

@@ -68,6 +68,11 @@ struct SnapshotScanStats {
   size_t current_reads = 0;
   size_t pre_update_reads = 0;
   size_t ignored = 0;
+  // Index observability (§4.3): hash probes issued on behalf of this read
+  // and rows served out of index candidates — covers both SnapshotLookup
+  // point reads and index-routed SnapshotSelects.
+  size_t index_lookups = 0;
+  size_t index_served_rows = 0;
 };
 
 // An nVNL-versioned relation: a logical schema widened per §3.1 stored in
@@ -184,13 +189,15 @@ class VnlTable {
 
   // The single streaming read pass all snapshot reads funnel through:
   // per heap tuple, Table-1 resolution, then `invariant_filter` on the
-  // raw physical row (logical prefix — no copy), then materialization,
-  // then `reconstructed_filter` on the logical row, then `sink`.
+  // raw physical row (logical prefix — no copy), then materialization of
+  // the columns marked in `projection` (empty = all; unneeded positions
+  // hold typed NULLs), then `reconstructed_filter` on the logical row,
+  // then `sink`.
   Status StreamSnapshot(
       const ReaderSession& session,
       const std::vector<const sql::Expr*>& invariant_filter,
       const std::vector<const sql::Expr*>& reconstructed_filter,
-      const query::ParamMap& params,
+      const query::ParamMap& params, const std::vector<bool>& projection,
       const std::function<bool(const Row&)>& sink,
       SnapshotScanStats* stats) const;
 
@@ -202,13 +209,49 @@ class VnlTable {
       const ReaderSession& session,
       const std::vector<const sql::Expr*>& invariant_filter,
       const std::vector<const sql::Expr*>& reconstructed_filter,
-      const query::ParamMap& params,
+      const query::ParamMap& params, const std::vector<bool>& projection,
       const std::function<bool(const Row&)>& sink,
       SnapshotScanStats* stats, const ScanOptions& opts) const;
 
+  // §4.3 index-routed read: serves the same row stream as StreamSnapshot
+  // out of the unique-key index (or a secondary posting list) when the
+  // invariant conjuncts bind one with equalities, and the session is young
+  // enough (currentVN - sessionVN <= n-2) that no tuple can resolve
+  // kExpired — the scan path decides expiration per heap tuple, including
+  // tuples the WHERE rejects, so older sessions must take the scan to keep
+  // the two paths status-identical. Returns false (leaving *status
+  // untouched) when no index applies; true with the read's status in
+  // *status otherwise. Candidates are emitted in heap order, so output is
+  // byte-identical to the serial scan.
+  bool TryStreamViaIndex(
+      const ReaderSession& session,
+      const std::vector<const sql::Expr*>& invariant_filter,
+      const std::vector<const sql::Expr*>& reconstructed_filter,
+      const query::ParamMap& params, const std::vector<bool>& projection,
+      const std::function<bool(const Row&)>& sink, SnapshotScanStats* stats,
+      Status* status) const EXCLUDES(index_mu_);
+
   std::optional<Rid> IndexLookup(const Row& key) const EXCLUDES(index_mu_);
-  void IndexInsert(const Row& key, Rid rid) EXCLUDES(index_mu_);
-  void IndexErase(const Row& key) EXCLUDES(index_mu_);
+
+  // Index maintenance, always at tuple granularity and under a single
+  // index_mu_ acquisition: the unique-key entry and every secondary
+  // posting move together. Keys are normalized through the column codec so
+  // in-memory rows (possibly over-width strings) and heap-deserialized
+  // rows agree.
+  void IndexTupleInserted(const Row& phys, Rid rid) EXCLUDES(index_mu_);
+  void IndexTupleErased(const Row& phys, Rid rid) EXCLUDES(index_mu_);
+  // Table-2 re-insert over a logically deleted key: the tuple keeps its
+  // Rid but assumes a new logical identity whose non-updatable attributes
+  // may differ — secondary postings whose key changed must move. The
+  // unique key itself is unchanged by construction.
+  void IndexTupleRevived(const std::vector<Row>& old_secondary_keys,
+                         const Row& new_phys, Rid rid) EXCLUDES(index_mu_);
+
+  // Normalized secondary key of `row` for each declared secondary index.
+  std::vector<Row> SecondaryKeysOf(const Row& row) const;
+  // Normalizes values picked from `row` at `cols` through the column codec.
+  Row ExtractNormalizedKey(const Row& row,
+                           const std::vector<size_t>& cols) const;
 
   // Rollback-without-logging (§7): reverts every tuple stamped with
   // txn_vn. Returns true when the revert was lossless (all pre-states
@@ -229,9 +272,17 @@ class VnlTable {
   ScanMetricsSink* metrics_;
   VnlEngine* engine_;  // scan options + shared ScanExecutor; may be null
 
+  // Declared secondary indexes (§4.3), fixed at construction. Specs are
+  // immutable and read lock-free; the posting maps (parallel vector, same
+  // order) live under index_mu_ with the unique-key index.
+  std::vector<SecondaryIndexSpec> secondary_specs_;
+
+  using PostingMap = std::unordered_map<Row, std::vector<Rid>, RowHash, RowEq>;
+
   mutable Mutex index_mu_;
   std::unordered_map<Row, Rid, RowHash, RowEq> key_index_
       GUARDED_BY(index_mu_);
+  std::vector<PostingMap> secondary_postings_ GUARDED_BY(index_mu_);
 };
 
 }  // namespace wvm::core

@@ -199,6 +199,41 @@ Result<QueryResult> ExecuteAggregate(
   return result;
 }
 
+// Computes which input columns the executor will read for this statement:
+// select-item expressions (aggregate arguments included — ForEachColumnRef
+// walks the whole tree), GROUP BY keys, and the residual WHERE. An
+// unresolvable name keeps every column needed; the evaluator surfaces the
+// error identically either way. Empty result = all columns.
+std::vector<bool> ReferencedColumns(
+    const sql::SelectStmt& stmt, const Schema& schema,
+    const std::vector<const sql::Expr*>& residual_where) {
+  if (stmt.select_star) return {};
+  std::vector<bool> needed(schema.num_columns(), false);
+  bool all = false;
+  auto mark = [&](const sql::Expr& e) {
+    sql::ForEachColumnRef(e, [&](const sql::Expr& ref) {
+      Result<size_t> idx = schema.IndexOf(ref.column);
+      if (idx.ok()) {
+        needed[idx.value()] = true;
+      } else {
+        all = true;
+      }
+    });
+  };
+  for (const sql::SelectItem& item : stmt.items) mark(*item.expr);
+  for (const std::string& g : stmt.group_by) {
+    Result<size_t> idx = schema.IndexOf(g);
+    if (idx.ok()) {
+      needed[idx.value()] = true;
+    } else {
+      all = true;
+    }
+  }
+  for (const sql::Expr* e : residual_where) mark(*e);
+  if (all) return {};
+  return needed;
+}
+
 // Runs the SELECT with an explicit residual-WHERE conjunct list (the
 // pushdown entry point strips the conjuncts the source absorbed).
 Result<QueryResult> ExecuteSelectResidual(
@@ -280,6 +315,9 @@ Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
         residual.push_back(e);
       }
     }
+  }
+  if (source.project != nullptr) {
+    source.project(ReferencedColumns(stmt, input_schema, residual));
   }
   Status scan_status;
   RowSource rows = [&](const std::function<bool(const Row&)>& sink) {

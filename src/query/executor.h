@@ -39,6 +39,14 @@ using RowSource =
 struct PushdownSource {
   // May be null: then no conjunct is absorbed.
   std::function<bool(const sql::Expr& conjunct)> absorb;
+  // May be null. Called once, after conjunct absorption and before `scan`,
+  // with the set of input columns the executor will actually read
+  // ("projection pushdown"). `needed[i]` false means the executor never
+  // evaluates column i of any streamed row, so the source may leave a NULL
+  // placeholder there instead of materializing the value; an empty vector
+  // means every column is needed. The source must still account for
+  // columns its own absorbed conjuncts read post-materialization.
+  std::function<void(const std::vector<bool>& needed)> project;
   std::function<Status(const std::function<bool(const Row&)>& sink)> scan;
 };
 

@@ -107,5 +107,81 @@ TEST(SchemaTest, EqualityComparesStructure) {
   EXPECT_FALSE(DailySalesSchema() == other);
 }
 
+// --- Secondary indexes (§4.3) ---------------------------------------------
+
+TEST(SchemaTest, AddSecondaryIndexOnNonUpdatableColumns) {
+  Schema s = DailySalesSchema();
+  ASSERT_TRUE(s.AddSecondaryIndex("by_city", {"city", "state"}).ok());
+  ASSERT_EQ(s.secondary_indexes().size(), 1u);
+  EXPECT_EQ(s.secondary_indexes()[0].name, "by_city");
+  EXPECT_EQ(s.secondary_indexes()[0].column_indices,
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST(SchemaTest, AddSecondaryIndexRejectsUpdatableColumn) {
+  Schema s = DailySalesSchema();
+  const Status st = s.AddSecondaryIndex("bad", {"total_sales"});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(s.secondary_indexes().empty());
+}
+
+TEST(SchemaTest, AddSecondaryIndexRejectsUnknownEmptyAndDuplicate) {
+  Schema s = DailySalesSchema();
+  EXPECT_EQ(s.AddSecondaryIndex("bad", {"bogus"}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddSecondaryIndex("bad", {}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(s.AddSecondaryIndex("by_city", {"city"}).ok());
+  EXPECT_EQ(s.AddSecondaryIndex("BY_CITY", {"state"}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, SecondaryIndexesParticipateInEquality) {
+  Schema a = DailySalesSchema();
+  Schema b = DailySalesSchema();
+  ASSERT_TRUE(a.AddSecondaryIndex("by_city", {"city"}).ok());
+  EXPECT_FALSE(a == b);
+  ASSERT_TRUE(b.AddSecondaryIndex("by_city", {"city"}).ok());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SchemaTest, SecondaryKeyOfPicksTheIndexedColumns) {
+  Schema s = DailySalesSchema();
+  ASSERT_TRUE(s.AddSecondaryIndex("by_pl", {"product_line", "state"}).ok());
+  Row row = {Value::String("San Jose"), Value::String("CA"),
+             Value::String("golf equip"), Value::Date(1996, 10, 14),
+             Value::Int32(10000)};
+  Row key = s.SecondaryKeyOf(row, s.secondary_indexes()[0]);
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_TRUE(key[0] == Value::String("golf equip"));
+  EXPECT_TRUE(key[1] == Value::String("CA"));
+}
+
+// --- NormalizeValueForColumn: codec round-trip ----------------------------
+
+TEST(NormalizeValueForColumnTest, TruncatesOverWidthStrings) {
+  const Column col = Column::String("grp", 4);
+  const Value v = NormalizeValueForColumn(col, Value::String("abcdefgh"));
+  EXPECT_TRUE(v == Value::String("abcd"));
+}
+
+TEST(NormalizeValueForColumnTest, CoercesCrossWidthIntegers) {
+  EXPECT_EQ(NormalizeValueForColumn(Column::Int32("c"), Value::Int64(7))
+                .type(),
+            TypeId::kInt32);
+  EXPECT_EQ(NormalizeValueForColumn(Column::Int64("c"), Value::Int32(7))
+                .type(),
+            TypeId::kInt64);
+}
+
+TEST(NormalizeValueForColumnTest, PreservesNullsAndFittingValues) {
+  EXPECT_TRUE(NormalizeValueForColumn(Column::String("s", 8),
+                                      Value::Null(TypeId::kString))
+                  .is_null());
+  EXPECT_TRUE(NormalizeValueForColumn(Column::String("s", 8),
+                                      Value::String("ok")) ==
+              Value::String("ok"));
+}
+
 }  // namespace
 }  // namespace wvm

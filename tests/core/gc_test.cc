@@ -3,6 +3,8 @@
 
 #include "common/logging.h"
 #include "core/vnl_engine.h"
+#include "query/executor.h"
+#include "sql/parser.h"
 
 namespace wvm::core {
 namespace {
@@ -135,6 +137,87 @@ TEST_P(GcTest, SessionsAtCurrentVersionNeverBlockGc) {
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 3u);
   engine_->CloseSession(fresh);
+}
+
+// Regression: CollectGarbage must drop the unique-key entry AND every
+// secondary posting atomically with heap reclamation — a stale posting
+// would let an index-routed read probe a reclaimed (or recycled) slot.
+TEST_P(GcTest, IndexRoutedReadsAgreeWithScansAfterGc) {
+  DiskManager disk;
+  BufferPool pool(256, &disk);
+  auto engine_or = VnlEngine::Create(&pool, GetParam());
+  ASSERT_TRUE(engine_or.ok());
+  VnlEngine* engine = engine_or.value().get();
+  Schema schema({Column::Int64("id"), Column::String("grp", 4),
+                 Column::Int64("qty", /*updatable=*/true)},
+                {0});
+  ASSERT_TRUE(schema.AddSecondaryIndex("by_grp", {"grp"}).ok());
+  auto table_or = engine->CreateTable("t", schema);
+  ASSERT_TRUE(table_or.ok());
+  VnlTable* table = table_or.value();
+
+  {
+    auto txn = engine->BeginMaintenance();
+    ASSERT_TRUE(txn.ok());
+    for (int64_t id = 0; id < 30; ++id) {
+      ASSERT_TRUE(table
+                      ->Insert(*txn,
+                               {Value::Int64(id),
+                                Value::String("g" + std::to_string(id % 3)),
+                                Value::Int64(id)})
+                      .ok());
+    }
+    ASSERT_TRUE(engine->Commit(*txn).ok());
+  }
+  {
+    auto txn = engine->BeginMaintenance();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(table
+                    ->Delete(*txn,
+                             [](const Row& row) -> Result<bool> {
+                               return row[1].AsString() == "g1";
+                             })
+                    .ok());
+    ASSERT_TRUE(engine->Commit(*txn).ok());
+  }
+  ASSERT_EQ(engine->CollectGarbage().value().tuples_reclaimed, 10u);
+
+  auto expect_same = [&](const char* sql, size_t expect_rows) {
+    SCOPED_TRACE(sql);
+    Result<sql::SelectStmt> stmt = sql::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok());
+    ReaderSession s = engine->OpenSession();
+    engine->SetScanOptions({1, ScanMergeMode::kArrivalOrder, true});
+    Result<query::QueryResult> routed = table->SnapshotSelect(s, *stmt);
+    engine->SetScanOptions({1, ScanMergeMode::kArrivalOrder, false});
+    Result<query::QueryResult> scanned = table->SnapshotSelect(s, *stmt);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+    ASSERT_EQ(routed->rows.size(), scanned->rows.size());
+    EXPECT_EQ(routed->rows.size(), expect_rows);
+    for (size_t i = 0; i < routed->rows.size(); ++i) {
+      EXPECT_TRUE(routed->rows[i] == scanned->rows[i]) << "row " << i;
+    }
+    engine->CloseSession(s);
+  };
+
+  expect_same("SELECT * FROM t WHERE grp = 'g1'", 0);   // postings gone
+  expect_same("SELECT * FROM t WHERE grp = 'g0'", 10);  // others intact
+  expect_same("SELECT * FROM t WHERE id = 4", 0);       // key entry gone
+  expect_same("SELECT * FROM t WHERE id = 3", 1);
+
+  // Re-inserting a reclaimed key re-creates both index entries.
+  {
+    auto txn = engine->BeginMaintenance();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(table
+                    ->Insert(*txn, {Value::Int64(4), Value::String("g1"),
+                                    Value::Int64(40)})
+                    .ok());
+    ASSERT_TRUE(engine->Commit(*txn).ok());
+  }
+  expect_same("SELECT * FROM t WHERE grp = 'g1'", 1);
+  expect_same("SELECT * FROM t WHERE id = 4", 1);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllN, GcTest, ::testing::Values(2, 3),

@@ -288,6 +288,46 @@ TEST(ReaderResolutionTest, MalformedTuples) {
 }
 
 // ---------------------------------------------------------------------------
+// §4.3 net-effect rule: secondary postings move only when a tuple
+// physically appears/disappears or is revived over a logically deleted key.
+
+TEST(SecondaryIndexMutationTest, AllowsPhysicalInsertAndDelete) {
+  EXPECT_TRUE(CheckSecondaryIndexMutation(PhysicalAction::kInsertTuple,
+                                          std::nullopt, Op::kInsert)
+                  .ok());
+  EXPECT_TRUE(CheckSecondaryIndexMutation(PhysicalAction::kDeleteTuple,
+                                          Op::kInsert, std::nullopt)
+                  .ok());
+}
+
+TEST(SecondaryIndexMutationTest, AllowsRevivesOverDeletedTuples) {
+  // Re-insert over a logically deleted key: physically an UPDATE, logically
+  // a brand-new tuple whose non-updatable attributes may differ. Across
+  // transactions it nets to insert; within one, to update — both legal.
+  EXPECT_TRUE(CheckSecondaryIndexMutation(PhysicalAction::kUpdateTuple,
+                                          Op::kDelete, Op::kInsert)
+                  .ok());
+  EXPECT_TRUE(CheckSecondaryIndexMutation(PhysicalAction::kUpdateTuple,
+                                          Op::kDelete, Op::kUpdate)
+                  .ok());
+}
+
+TEST(SecondaryIndexMutationTest, RejectsInPlaceVersionUpdates) {
+  EXPECT_FALSE(CheckSecondaryIndexMutation(PhysicalAction::kUpdateTuple,
+                                           Op::kUpdate, Op::kUpdate)
+                   .ok());
+  EXPECT_FALSE(CheckSecondaryIndexMutation(PhysicalAction::kUpdateTuple,
+                                           Op::kInsert, Op::kInsert)
+                   .ok());
+  EXPECT_FALSE(CheckSecondaryIndexMutation(PhysicalAction::kUpdateTuple,
+                                           Op::kUpdate, Op::kDelete)
+                   .ok());
+  EXPECT_FALSE(CheckSecondaryIndexMutation(PhysicalAction::kUpdateTuple,
+                                           std::nullopt, std::nullopt)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
 // The checker agrees with the engine's own resolution on every reachable
 // (sessionVN, tupleVN, operation) combination — the hooks must never fire
 // on a correct engine.

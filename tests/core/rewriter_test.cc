@@ -93,6 +93,122 @@ TEST(RewriterTest, SelectStarExpandsToLogicalColumns) {
   EXPECT_EQ(rewritten->items[4].expr->kind, sql::ExprKind::kCase);
 }
 
+// --- BindIndexKeys: the index-routing predicate analyzer -------------------
+//
+// Bindings are access-path hints (every conjunct is re-evaluated on the
+// candidate rows), so the analyzer may decline anything, but it must never
+// produce a key set missing a genuinely matching key.
+
+Schema KeyedSchema() {
+  return Schema({Column::Int64("id"), Column::String("grp", 4),
+                 Column::Int32("cnt"), Column::Double("wt"),
+                 Column::Int64("qty", /*updatable=*/true)},
+                {0});
+}
+
+// Parses `where_sql` and hands its top-level conjuncts to BindIndexKeys
+// over `columns`. The statement owns the expression tree, so it must stay
+// alive across the call — hence one helper doing both.
+std::optional<std::vector<Row>> Bind(const std::string& where_sql,
+                                     const std::vector<size_t>& columns,
+                                     const query::ParamMap& params = {},
+                                     size_t max_candidates = 64) {
+  Result<sql::SelectStmt> stmt =
+      sql::ParseSelect("SELECT * FROM t WHERE " + where_sql);
+  WVM_CHECK(stmt.ok());
+  std::vector<const sql::Expr*> conjuncts;
+  sql::CollectConjuncts(*stmt->where, &conjuncts);
+  return BindIndexKeys(conjuncts, KeyedSchema(), columns, params,
+                       max_candidates);
+}
+
+TEST(BindIndexKeysTest, BindsSingleEquality) {
+  auto keys = Bind("id = 7", {0});
+  ASSERT_TRUE(keys.has_value());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_TRUE((*keys)[0][0] == Value::Int64(7));
+}
+
+TEST(BindIndexKeysTest, BindsMirroredAndParamEqualities) {
+  auto keys = Bind("7 = id", {0});
+  ASSERT_TRUE(keys.has_value());
+  ASSERT_EQ(keys->size(), 1u);
+
+  keys = Bind("id = :k", {0}, {{"k", Value::Int64(3)}});
+  ASSERT_TRUE(keys.has_value());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_TRUE((*keys)[0][0] == Value::Int64(3));
+
+  // Unbound parameter: the scan path owns the error report.
+  EXPECT_FALSE(Bind("id = :missing", {0}).has_value());
+}
+
+TEST(BindIndexKeysTest, BindsInListOrWithDedup) {
+  auto keys = Bind("id = 1 OR id = 2 OR id = 1", {0});
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(keys->size(), 2u);
+}
+
+TEST(BindIndexKeysTest, MixedColumnOrIsDeclined) {
+  EXPECT_FALSE(Bind("id = 1 OR grp = 'g1'", {0}).has_value());
+}
+
+TEST(BindIndexKeysTest, CompositeBindingTakesCartesianProduct) {
+  auto keys = Bind("(id = 1 OR id = 2) AND (grp = 'a' OR grp = 'b')",
+                   {0, 1});
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(keys->size(), 4u);
+  for (const Row& k : *keys) {
+    ASSERT_EQ(k.size(), 2u);
+    EXPECT_EQ(k[0].type(), TypeId::kInt64);
+    EXPECT_EQ(k[1].type(), TypeId::kString);
+  }
+}
+
+TEST(BindIndexKeysTest, PartiallyBoundKeyIsDeclined) {
+  // Only grp bound; the composite (id, grp) access path needs both.
+  EXPECT_FALSE(Bind("grp = 'a'", {0, 1}).has_value());
+  // Range conjuncts never bind.
+  EXPECT_FALSE(Bind("id > 3", {0}).has_value());
+}
+
+TEST(BindIndexKeysTest, FirstBindingConjunctWinsPerColumn) {
+  // id = 1 AND id = 2 is contradictory; the analyzer keeps the first
+  // binding and lets the re-evaluated second conjunct reject the row.
+  auto keys = Bind("id = 1 AND id = 2", {0});
+  ASSERT_TRUE(keys.has_value());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_TRUE((*keys)[0][0] == Value::Int64(1));
+}
+
+TEST(BindIndexKeysTest, HashUnsafeComparandsAreDeclined) {
+  // Doubles can be SQL-equal to an int without hashing equal.
+  EXPECT_FALSE(Bind("id = 1.5", {0}).has_value());
+  EXPECT_FALSE(Bind("wt = 0.5", {3}).has_value());
+  // An over-width string literal can never equal a stored truncated value.
+  EXPECT_FALSE(Bind("grp = 'abcdef'", {1}).has_value());
+}
+
+TEST(BindIndexKeysTest, NormalizesCrossWidthIntegers) {
+  // `cnt` is Int32; the parser produces an Int64 literal. The bound key
+  // must round-trip through the column codec so it hashes like a stored
+  // row's value.
+  auto keys = Bind("cnt = 5", {2});
+  ASSERT_TRUE(keys.has_value());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0][0].type(), TypeId::kInt32);
+  EXPECT_TRUE((*keys)[0][0] == Value::Int32(5));
+}
+
+TEST(BindIndexKeysTest, CandidateCapDeclinesWideInLists) {
+  EXPECT_FALSE(
+      Bind("id = 1 OR id = 2 OR id = 3", {0}, {}, /*max_candidates=*/2)
+          .has_value());
+  EXPECT_TRUE(
+      Bind("id = 1 OR id = 2 OR id = 3", {0}, {}, /*max_candidates=*/3)
+          .has_value());
+}
+
 TEST(RewriterTest, UnknownColumnFails) {
   VersionedSchema vs = MakeVs();
   Result<sql::SelectStmt> stmt =
