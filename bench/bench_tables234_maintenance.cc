@@ -33,13 +33,59 @@ std::unique_ptr<baselines::WarehouseEngine> MakeEngine(
   return std::move(adapter).value();
 }
 
-// Applies `days` of summary-view maintenance batches; each benchmark
-// iteration replays the full multi-day history on a fresh engine.
-void RunMaintenanceBench(benchmark::State& state, const std::string& name) {
+warehouse::DailySalesConfig BenchConfig() {
   warehouse::DailySalesConfig config;
   config.events_per_batch = 1500;
   config.num_cities = 20;
   config.num_product_lines = 8;
+  return config;
+}
+
+// Coalescing/amortization counters for one full multi-day replay. The
+// workload, fold, and apply paths are all deterministic, so these are
+// exact per-configuration constants — the bench-diff gate compares them
+// at threshold 0 effectively (any drift is a real behavior change).
+struct MaintCounters {
+  size_t keys_coalesced = 0;
+  size_t events_folded = 0;
+  size_t index_probes = 0;
+  size_t page_pins = 0;
+};
+
+MaintCounters CountMaintenance(const std::string& name, size_t batch_size) {
+  warehouse::DailySalesWorkload workload(BenchConfig());
+  const warehouse::SummaryView& view = workload.view();
+  DiskManager disk;
+  BufferPool pool(16384, &disk);
+  std::unique_ptr<baselines::WarehouseEngine> engine =
+      MakeEngine(name, &pool, view.view_schema());
+  warehouse::SummaryView::ApplyOptions opts;
+  opts.batch_size = batch_size;
+  MaintCounters out;
+  for (int day = 1; day <= 4; ++day) {
+    const warehouse::DeltaBatch batch = workload.MakeBatch(day);
+    WVM_CHECK(engine->BeginMaintenance().ok());
+    Result<warehouse::SummaryView::ApplyStats> stats =
+        view.ApplyDelta(engine.get(), batch, opts);
+    WVM_CHECK(stats.ok());
+    out.keys_coalesced += stats->keys_coalesced;
+    out.events_folded += stats->events_folded;
+    out.index_probes += stats->index_probes;
+    out.page_pins += stats->page_pins;
+    WVM_CHECK(engine->CommitMaintenance().ok());
+  }
+  return out;
+}
+
+// Applies `days` of summary-view maintenance batches; each benchmark
+// iteration replays the full multi-day history on a fresh engine.
+// batch_size selects the apply path: 0 = serial per-group facade calls,
+// >= 1 = coalesced batched application.
+void RunMaintenanceBench(benchmark::State& state, const std::string& name,
+                         size_t batch_size = 64) {
+  const warehouse::DailySalesConfig config = BenchConfig();
+  warehouse::SummaryView::ApplyOptions opts;
+  opts.batch_size = batch_size;
 
   size_t ops = 0;
   for (auto _ : state) {
@@ -59,7 +105,7 @@ void RunMaintenanceBench(benchmark::State& state, const std::string& name) {
     for (const warehouse::DeltaBatch& batch : batches) {
       WVM_CHECK(engine->BeginMaintenance().ok());
       Result<warehouse::SummaryView::ApplyStats> stats =
-          view.ApplyDelta(engine.get(), batch);
+          view.ApplyDelta(engine.get(), batch, opts);
       WVM_CHECK(stats.ok());
       ops += stats->groups_touched;
       WVM_CHECK(engine->CommitMaintenance().ok());
@@ -67,13 +113,37 @@ void RunMaintenanceBench(benchmark::State& state, const std::string& name) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(ops));
   state.SetLabel(name);
+
+  // One deterministic counting pass, independent of iteration count.
+  const MaintCounters counters = CountMaintenance(name, batch_size);
+  state.counters["keys_coalesced"] =
+      static_cast<double>(counters.keys_coalesced);
+  state.counters["events_folded"] =
+      static_cast<double>(counters.events_folded);
+  state.counters["index_probes"] =
+      static_cast<double>(counters.index_probes);
+  state.counters["page_pins"] = static_cast<double>(counters.page_pins);
+  if (name == "2vnl" && batch_size > 1) {
+    // Acceptance gate: on this skewed (repeated-key) delta workload the
+    // batched path must amortize at least 2x on both probes and pins
+    // relative to serial per-group application.
+    const MaintCounters serial = CountMaintenance(name, 0);
+    WVM_CHECK_MSG(serial.index_probes >= 2 * counters.index_probes,
+                  "batched apply failed the 2x index-probe amortization");
+    WVM_CHECK_MSG(serial.page_pins >= 2 * counters.page_pins,
+                  "batched apply failed the 2x page-pin amortization");
+  }
 }
 
 void BM_Maintenance_Offline(benchmark::State& state) {
   RunMaintenanceBench(state, "offline");
 }
+// The batch_size axis: 0 is the serial per-group path, 1 degenerates to
+// one-key batches (coalescing still folds repeated events), larger sizes
+// amortize ApplyBatch call overhead.
 void BM_Maintenance_2Vnl(benchmark::State& state) {
-  RunMaintenanceBench(state, "2vnl");
+  RunMaintenanceBench(state, "2vnl",
+                      static_cast<size_t>(state.range(0)));
 }
 void BM_Maintenance_3Vnl(benchmark::State& state) {
   RunMaintenanceBench(state, "3vnl");
@@ -88,7 +158,13 @@ void BM_Maintenance_Mv2plBc92(benchmark::State& state) {
   RunMaintenanceBench(state, "mv2pl-bc92");
 }
 BENCHMARK(BM_Maintenance_Offline)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Maintenance_2Vnl)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maintenance_2Vnl)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512);
 BENCHMARK(BM_Maintenance_3Vnl)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Maintenance_4Vnl)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Maintenance_Mv2plCfl82)->Unit(benchmark::kMillisecond);

@@ -11,8 +11,12 @@ Direction is inferred from the unit: throughput units (items/s) are
 higher-is-better; everything else (time, pages, bytes, counts) is
 lower-is-better. A metric that moved in the bad direction by more than
 --threshold (relative) is a regression; the script lists every regression
-and exits non-zero if any were found. Metrics present in only one file are
-reported but never fail the diff — benches grow new counters over time.
+and exits non-zero if any were found. Metrics present only in the new run
+are reported but never fail the diff — benches grow new counters over
+time. Metrics present in the baseline but missing from the new run FAIL
+the diff (silent key drift would otherwise let a renamed or dropped gate
+metric pass unchecked); pass --allow-missing to downgrade that to a
+warning, e.g. when diffing against a deliberately pruned baseline.
 
 `--self-test` runs the comparator against built-in fixtures (no files
 needed) so CI can validate the tool itself as an ordinary ctest entry.
@@ -71,16 +75,27 @@ def format_row(name, old_value, new_value, rel, unit):
             f"({rel:+.1%} in the bad direction)")
 
 
-def run_diff(old_path, new_path, threshold):
+def run_diff(old_path, new_path, threshold, allow_missing=False):
     old = load_metrics(old_path)
     new = load_metrics(new_path)
     regressions, improvements, only_old, only_new = diff_metrics(
         old, new, threshold)
 
+    failed = False
     if only_old:
-        print(f"metrics only in {old_path} (ignored):")
+        if allow_missing:
+            print(f"metrics only in {old_path} (ignored via "
+                  f"--allow-missing):")
+        else:
+            failed = True
+            print(f"MISSING METRICS: present in baseline {old_path} but "
+                  f"absent from {new_path}:")
         for name in only_old:
             print(f"  {name}")
+        if not allow_missing:
+            print("a baseline metric vanished from the new run — a rename "
+                  "or dropped counter would silently escape the gate; "
+                  "update the committed baseline or pass --allow-missing")
     if only_new:
         print(f"metrics only in {new_path} (ignored):")
         for name in only_new:
@@ -93,6 +108,8 @@ def run_diff(old_path, new_path, threshold):
         print(f"REGRESSIONS beyond {threshold:.0%}:")
         for row in regressions:
             print(format_row(*row))
+        failed = True
+    if failed:
         return 1
     shared = len(set(old) & set(new))
     print(f"OK: {shared} shared metrics within {threshold:.0%} "
@@ -133,6 +150,26 @@ def self_test():
     if [r[0] for r in regressions] != ["x"]:
         failures.append("items/s drop not flagged as regression")
 
+    # A baseline metric missing from the new run must fail run_diff (and
+    # pass with --allow-missing). Exercised through temp files so the
+    # exit-code plumbing is covered, not just diff_metrics.
+    import os
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w", encoding="utf-8") as f:
+            json.dump([{"name": "kept", "value": 1.0, "unit": "count"},
+                       {"name": "dropped", "value": 2.0, "unit": "count"}],
+                      f)
+        with open(new_path, "w", encoding="utf-8") as f:
+            json.dump([{"name": "kept", "value": 1.0, "unit": "count"}], f)
+        if run_diff(old_path, new_path, threshold=0.10) != 1:
+            failures.append("missing baseline metric did not fail the diff")
+        if run_diff(old_path, new_path, threshold=0.10,
+                    allow_missing=True) != 0:
+            failures.append("--allow-missing did not downgrade the failure")
+
     if failures:
         print("self-test FAILED:")
         for f in failures:
@@ -150,6 +187,9 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative movement that counts as a "
                              "regression (default 0.10)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline metric is "
+                             "missing from the new run")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in comparator fixtures")
     args = parser.parse_args()
@@ -159,7 +199,8 @@ def main():
     if args.old is None or args.new is None:
         parser.error("old and new JSON paths are required without "
                      "--self-test")
-    return run_diff(args.old, args.new, args.threshold)
+    return run_diff(args.old, args.new, args.threshold,
+                    allow_missing=args.allow_missing)
 
 
 if __name__ == "__main__":

@@ -1,7 +1,9 @@
 #ifndef OPENWVM_BASELINES_WAREHOUSE_ENGINE_H_
 #define OPENWVM_BASELINES_WAREHOUSE_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +61,46 @@ class WarehouseEngine {
   virtual Status MaintUpdate(const Row& key, const Row& row) = 0;
   virtual Status MaintDelete(const Row& key) = 0;
   virtual Status CommitMaintenance() = 0;
+
+  // --- Batched maintenance ----------------------------------------------------
+
+  // The net maintenance action for one key, decided from the key's current
+  // row. kNone touches nothing; kInsert/kUpdate carry the full new row;
+  // kDelete removes the key.
+  struct MaintNetAction {
+    enum class Kind { kNone, kInsert, kUpdate, kDelete };
+    Kind kind = Kind::kNone;
+    Row row;
+  };
+
+  // One coalesced key of a delta batch: the engine reads the key's current
+  // row (nullopt when absent) exactly once and hands it to `decide`.
+  struct MaintBatchOp {
+    Row key;
+    std::function<Result<MaintNetAction>(const std::optional<Row>& current)>
+        decide;
+  };
+
+  // What a batch cost. For engines without a batched fast path the counts
+  // reflect the serial fallback's facade calls (one probe per call, one
+  // pin per row actually read or mutated); the 2VNL adapter reports the
+  // core engine's real counters.
+  struct MaintBatchStats {
+    size_t keys = 0;
+    size_t noops = 0;
+    size_t inserts = 0;
+    size_t updates = 0;
+    size_t deletes = 0;
+    size_t index_probes = 0;
+    size_t page_pins = 0;
+  };
+
+  // Applies one per-key decision per op, amortizing lookups where the
+  // engine can. The default implementation is the serial fallback:
+  // MaintReadKey + MaintInsert/MaintUpdate/MaintDelete per key, so every
+  // engine accepts batches through the same entry point.
+  virtual Result<MaintBatchStats> MaintApplyBatch(
+      const std::vector<MaintBatchOp>& ops);
 
   virtual EngineStorageStats StorageStats() const = 0;
 };

@@ -2,7 +2,9 @@
 #define OPENWVM_CORE_DECISION_TABLES_H_
 
 #include <optional>
+#include <vector>
 
+#include "catalog/schema.h"
 #include "common/result.h"
 #include "core/version_meta.h"
 
@@ -68,6 +70,75 @@ Result<MaintenanceDecision> DecideUpdate(Vn maintenance_vn,
 // Table 4: logical delete.
 Result<MaintenanceDecision> DecideDelete(Vn maintenance_vn,
                                          const TupleVersionState& state);
+
+// --- Net-effect coalescing (batched maintenance application) ----------------
+//
+// Tables 2-4 track a per-tuple net-effect operation so repeated touches of
+// the same key inside one maintenance transaction collapse to at most one
+// physical action. The batched apply path exploits that at the *delta*
+// level: a key's event sequence is folded into its net effect first, so
+// the key costs one index probe and one page pin instead of one per event.
+
+// One logical maintenance event addressed to a unique key. For inserts and
+// updates `row` is the full logical row; for deletes it carries the
+// unique-key values (the batched apply layer addresses deletes by the
+// group's key, so the row is never consulted).
+struct LogicalEvent {
+  Op op = Op::kInsert;
+  Row row;
+};
+
+// The folded net effect of a key's event sequence. `row` holds, per kind:
+//   kInsert / kUpdate / kRevive — the final logical row;
+//   kDelete   — the CV bytes a serial application would leave on the
+//               logically deleted tuple (set when an update preceded the
+//               delete in the same batch; the fused Table-4 decision adds
+//               CV <- MV so the heap stays byte-identical to serial);
+//   kCancelled — the folded insert's values (needed to replay the
+//                insert+delete pair over a logically deleted corpse, where
+//                the serial pair physically removes the corpse and a plain
+//                no-op would not).
+// kReplay falls back to exact serial re-execution of `replay` — taken for
+// sequences that serial application would reject mid-way (insert over a
+// live key, operations on a key deleted earlier in the batch and then
+// cancelled, ...), so batched error behavior, including which prefix got
+// applied, matches serial exactly.
+struct NetEffect {
+  enum class Kind {
+    kNone,       // no events folded yet
+    kInsert,     // net logical insert (Table 2 decides fresh vs revive)
+    kUpdate,     // net logical update
+    kDelete,     // net logical delete
+    kRevive,     // delete-then-insert: Table 4 line 1 + Table 2 line 2
+    kCancelled,  // insert-then-delete: no-op unless the key holds a corpse
+    kReplay,     // fold not paper-legal as one action: re-execute serially
+  };
+  Kind kind = Kind::kNone;
+  std::optional<Row> row;
+  std::vector<LogicalEvent> replay;  // kReplay only, in arrival order
+};
+
+// Folds the next event of a key's sequence into the accumulated net
+// effect. Never fails: compositions that serial application would reject
+// (e.g. insert after insert) degrade to kReplay, which reproduces the
+// serial error and the serially-applied prefix at apply time.
+NetEffect ComposeNetEffect(NetEffect acc, LogicalEvent next);
+
+// One key's coalesced slot in a delta batch.
+struct CoalescedOp {
+  Row key;            // normalized unique-key values
+  NetEffect effect;
+  size_t events = 0;  // how many events folded into this key
+};
+
+// Groups `events` by normalized unique key (the same codec normalization
+// the hash index uses, so over-width probe strings agree with heap rows)
+// and folds each key's sequence with ComposeNetEffect. Keys come out in
+// first-seen order — the same order a serial application first touches
+// them, which keeps physical insert order, and therefore heap layout,
+// identical between the two paths.
+Result<std::vector<CoalescedOp>> CoalesceBatch(
+    const Schema& logical, const std::vector<LogicalEvent>& events);
 
 }  // namespace wvm::core
 

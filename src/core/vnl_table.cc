@@ -235,6 +235,25 @@ Status VnlTable::ApplyDecision(MaintenanceTxn* txn,
   WVM_UNREACHABLE("bad physical action");
 }
 
+Result<TupleVersionState> VnlTable::StateOf(const Row& phys) const {
+  WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
+  return TupleVersionState{vschema_.TupleVn(phys, 0), op,
+                           vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1)};
+}
+
+Status VnlTable::CheckUpdatablesOnly(const Row& current,
+                                     const Row& next) const {
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (!vschema_.logical().column(i).updatable &&
+        !(current[i] == next[i])) {
+      return Status::InvalidArgument(
+          "update changes non-updatable attribute '" +
+          vschema_.logical().column(i).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
 Status VnlTable::Insert(MaintenanceTxn* txn, const Row& logical_row) {
   WVM_RETURN_IF_ERROR(CheckTxn(txn));
   WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(logical_row));
@@ -246,13 +265,12 @@ Status VnlTable::Insert(MaintenanceTxn* txn, const Row& logical_row) {
   if (vschema_.logical().has_unique_key()) {
     const Row key = vschema_.logical().KeyOf(logical_row);
     std::optional<Rid> found = IndexLookup(key);
+    ++txn->stats_.index_probes;
     if (found.has_value()) {
       rid = *found;
       WVM_ASSIGN_OR_RETURN(phys, phys_->GetRow(rid));
-      WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
-      existing = TupleVersionState{
-          vschema_.TupleVn(phys, 0), op,
-          vschema_.n() > 2 && !vschema_.SlotEmpty(phys, 1)};
+      ++txn->stats_.page_pins;
+      WVM_ASSIGN_OR_RETURN(existing, StateOf(phys));
     }
   }
 
@@ -318,25 +336,15 @@ Result<size_t> VnlTable::Update(MaintenanceTxn* txn,
     // Deferred fetch: the cursor holds Rids only; the row is read when the
     // decision procedure actually needs it.
     WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(rid));
+    ++txn->stats_.page_pins;
     const Row current = vschema_.CurrentLogical(phys);
     WVM_ASSIGN_OR_RETURN(Row next, transform(current));
     WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(next));
     // Non-updatable attributes (including the unique key) must not change.
-    for (size_t i = 0; i < current.size(); ++i) {
-      if (!vschema_.logical().column(i).updatable &&
-          !(current[i] == next[i])) {
-        return Status::InvalidArgument(
-            "update changes non-updatable attribute '" +
-            vschema_.logical().column(i).name + "'");
-      }
-    }
-    WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
-    WVM_ASSIGN_OR_RETURN(
-        MaintenanceDecision d,
-        DecideUpdate(txn->vn(),
-                     TupleVersionState{vschema_.TupleVn(phys, 0), op,
-                                       vschema_.n() > 2 &&
-                                           !vschema_.SlotEmpty(phys, 1)}));
+    WVM_RETURN_IF_ERROR(CheckUpdatablesOnly(current, next));
+    WVM_ASSIGN_OR_RETURN(TupleVersionState state, StateOf(phys));
+    WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                         DecideUpdate(txn->vn(), state));
     WVM_RETURN_IF_ERROR(ApplyDecision(txn, d, rid, std::move(phys), &next));
     ++txn->stats_.logical_updates;
   }
@@ -350,13 +358,10 @@ Result<size_t> VnlTable::Delete(MaintenanceTxn* txn,
                        CollectCursor(txn->vn(), pred));
   for (Rid rid : cursor) {
     WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(rid));
-    WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
-    WVM_ASSIGN_OR_RETURN(
-        MaintenanceDecision d,
-        DecideDelete(txn->vn(),
-                     TupleVersionState{vschema_.TupleVn(phys, 0), op,
-                                       vschema_.n() > 2 &&
-                                           !vschema_.SlotEmpty(phys, 1)}));
+    ++txn->stats_.page_pins;
+    WVM_ASSIGN_OR_RETURN(TupleVersionState state, StateOf(phys));
+    WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                         DecideDelete(txn->vn(), state));
     WVM_RETURN_IF_ERROR(
         ApplyDecision(txn, d, rid, std::move(phys), nullptr));
     ++txn->stats_.logical_deletes;
@@ -368,28 +373,19 @@ Result<bool> VnlTable::UpdateByKey(MaintenanceTxn* txn, const Row& key,
                                    const RowTransform& transform) {
   WVM_RETURN_IF_ERROR(CheckTxn(txn));
   std::optional<Rid> rid = IndexLookup(key);
+  ++txn->stats_.index_probes;
   if (!rid.has_value()) return false;
   WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(*rid));
-  WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
-  if (op == Op::kDelete) return false;
+  ++txn->stats_.page_pins;
+  WVM_ASSIGN_OR_RETURN(TupleVersionState state, StateOf(phys));
+  if (state.op == Op::kDelete) return false;
 
   const Row current = vschema_.CurrentLogical(phys);
   WVM_ASSIGN_OR_RETURN(Row next, transform(current));
   WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(next));
-  for (size_t i = 0; i < current.size(); ++i) {
-    if (!vschema_.logical().column(i).updatable &&
-        !(current[i] == next[i])) {
-      return Status::InvalidArgument(
-          "update changes non-updatable attribute '" +
-          vschema_.logical().column(i).name + "'");
-    }
-  }
-  WVM_ASSIGN_OR_RETURN(
-      MaintenanceDecision d,
-      DecideUpdate(txn->vn(),
-                   TupleVersionState{vschema_.TupleVn(phys, 0), op,
-                                     vschema_.n() > 2 &&
-                                         !vschema_.SlotEmpty(phys, 1)}));
+  WVM_RETURN_IF_ERROR(CheckUpdatablesOnly(current, next));
+  WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                       DecideUpdate(txn->vn(), state));
   WVM_RETURN_IF_ERROR(ApplyDecision(txn, d, *rid, std::move(phys), &next));
   ++txn->stats_.logical_updates;
   return true;
@@ -398,16 +394,14 @@ Result<bool> VnlTable::UpdateByKey(MaintenanceTxn* txn, const Row& key,
 Result<bool> VnlTable::DeleteByKey(MaintenanceTxn* txn, const Row& key) {
   WVM_RETURN_IF_ERROR(CheckTxn(txn));
   std::optional<Rid> rid = IndexLookup(key);
+  ++txn->stats_.index_probes;
   if (!rid.has_value()) return false;
   WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(*rid));
-  WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
-  if (op == Op::kDelete) return false;
-  WVM_ASSIGN_OR_RETURN(
-      MaintenanceDecision d,
-      DecideDelete(txn->vn(),
-                   TupleVersionState{vschema_.TupleVn(phys, 0), op,
-                                     vschema_.n() > 2 &&
-                                         !vschema_.SlotEmpty(phys, 1)}));
+  ++txn->stats_.page_pins;
+  WVM_ASSIGN_OR_RETURN(TupleVersionState state, StateOf(phys));
+  if (state.op == Op::kDelete) return false;
+  WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                       DecideDelete(txn->vn(), state));
   WVM_RETURN_IF_ERROR(
       ApplyDecision(txn, d, *rid, std::move(phys), nullptr));
   ++txn->stats_.logical_deletes;
@@ -421,8 +415,10 @@ Result<std::optional<Row>> VnlTable::MaintenanceLookup(
     return Status::FailedPrecondition("table has no unique key");
   }
   std::optional<Rid> rid = IndexLookup(key);
+  ++txn->stats_.index_probes;
   if (!rid.has_value()) return std::optional<Row>();
   WVM_ASSIGN_OR_RETURN(Row phys, phys_->GetRow(*rid));
+  ++txn->stats_.page_pins;
   WVM_ASSIGN_OR_RETURN(Op op, vschema_.Operation(phys, 0));
   if (op == Op::kDelete) return std::optional<Row>();
   return std::optional<Row>(vschema_.CurrentLogical(phys));
@@ -441,6 +437,218 @@ Result<std::vector<Row>> VnlTable::MaintenanceRows(
     rows.push_back(vschema_.CurrentLogical(phys));
   }
   return rows;
+}
+
+Row VnlTable::NormalizeKey(const Row& key) const {
+  const Schema& logical = vschema_.logical();
+  Row out;
+  out.reserve(key.size());
+  for (size_t i = 0; i < key.size() && i < logical.key_indices().size();
+       ++i) {
+    out.push_back(NormalizeValueForColumn(
+        logical.column(logical.key_indices()[i]), key[i]));
+  }
+  return out;
+}
+
+Status VnlTable::ReplayEvent(MaintenanceTxn* txn, const Row& key,
+                             const LogicalEvent& ev) {
+  switch (ev.op) {
+    case Op::kInsert:
+      return Insert(txn, ev.row);
+    case Op::kUpdate: {
+      WVM_ASSIGN_OR_RETURN(
+          bool found,
+          UpdateByKey(txn, key, [&ev](const Row&) -> Result<Row> {
+            return ev.row;
+          }));
+      if (!found) return Status::NotFound("no such key");
+      return Status::OK();
+    }
+    case Op::kDelete: {
+      WVM_ASSIGN_OR_RETURN(bool found, DeleteByKey(txn, key));
+      if (!found) return Status::NotFound("no such key");
+      return Status::OK();
+    }
+  }
+  WVM_UNREACHABLE("bad logical op");
+}
+
+Status VnlTable::ApplyNetEffect(MaintenanceTxn* txn, const Row& key,
+                                const NetEffect& effect,
+                                std::optional<Rid> rid,
+                                std::optional<Row> phys,
+                                std::optional<TupleVersionState> state,
+                                BatchApplyStats* out) {
+  using Kind = NetEffect::Kind;
+  // "Visible" = the maintenance cursor would see the tuple: present and
+  // not a logically deleted corpse. kUpdate/kDelete/kRevive all start with
+  // an operation serial application addresses to a visible key.
+  const bool visible = state.has_value() && state->op != Op::kDelete;
+  switch (effect.kind) {
+    case Kind::kNone:
+      ++out->noops;
+      return Status::OK();
+    case Kind::kInsert: {
+      // Serial Insert() with the index probe and fetch already paid.
+      WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(*effect.row));
+      if (!RowEq()(ExtractNormalizedKey(*effect.row,
+                                        vschema_.logical().key_indices()),
+                   NormalizeKey(key))) {
+        return Status::InvalidArgument(
+            "batched row's key differs from its group key");
+      }
+      ++txn->stats_.logical_inserts;
+      WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                           DecideInsert(txn->vn(), state));
+      ++out->inserts;
+      if (d.action == PhysicalAction::kInsertTuple) {
+        Row fresh_row = vschema_.MakeInsertRow(*effect.row, txn->vn());
+        MaintenanceDecision fresh = d;
+        fresh.pv_null = false;
+        fresh.cv_from_mv = false;
+        fresh.set_tuple_vn = false;
+        fresh.new_op = std::nullopt;
+        return ApplyDecision(txn, fresh, Rid{}, std::move(fresh_row),
+                             nullptr);
+      }
+      return ApplyDecision(txn, d, *rid, std::move(*phys), &*effect.row);
+    }
+    case Kind::kUpdate: {
+      if (!visible) return Status::NotFound("no such key");
+      const Row current = vschema_.CurrentLogical(*phys);
+      WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(*effect.row));
+      WVM_RETURN_IF_ERROR(CheckUpdatablesOnly(current, *effect.row));
+      WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                           DecideUpdate(txn->vn(), *state));
+      ++txn->stats_.logical_updates;
+      ++out->updates;
+      return ApplyDecision(txn, d, *rid, std::move(*phys), &*effect.row);
+    }
+    case Kind::kDelete: {
+      if (!visible) return Status::NotFound("no such key");
+      WVM_ASSIGN_OR_RETURN(MaintenanceDecision d,
+                           DecideDelete(txn->vn(), *state));
+      const Row* mv = nullptr;
+      if (effect.row.has_value()) {
+        // An update folded into this delete: its values become the dead
+        // CV, exactly as the serial update-then-delete would leave them.
+        WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(*effect.row));
+        WVM_RETURN_IF_ERROR(
+            CheckUpdatablesOnly(vschema_.CurrentLogical(*phys),
+                                *effect.row));
+        d.cv_from_mv = true;
+        mv = &*effect.row;
+      }
+      ++txn->stats_.logical_deletes;
+      ++out->deletes;
+      return ApplyDecision(txn, d, *rid, std::move(*phys), mv);
+    }
+    case Kind::kRevive: {
+      if (!visible) return Status::NotFound("no such key");
+      // delete-then-insert as the serial pair (Table 4 then Table 2) but
+      // with one index probe; only a cross-transaction revive needs the
+      // second pin to re-read the tuple the delete just stamped.
+      WVM_RETURN_IF_ERROR(vschema_.logical().ValidateRow(*effect.row));
+      if (!RowEq()(ExtractNormalizedKey(*effect.row,
+                                        vschema_.logical().key_indices()),
+                   NormalizeKey(key))) {
+        return Status::InvalidArgument(
+            "batched row's key differs from its group key");
+      }
+      WVM_ASSIGN_OR_RETURN(MaintenanceDecision del,
+                           DecideDelete(txn->vn(), *state));
+      ++txn->stats_.logical_deletes;
+      WVM_RETURN_IF_ERROR(
+          ApplyDecision(txn, del, *rid, std::move(*phys), nullptr));
+      ++txn->stats_.logical_inserts;
+      ++out->revives;
+      if (del.action == PhysicalAction::kDeleteTuple) {
+        // The delete physically removed a same-txn fresh insert; the
+        // re-insert is a fresh tuple again.
+        Row fresh_row = vschema_.MakeInsertRow(*effect.row, txn->vn());
+        WVM_ASSIGN_OR_RETURN(MaintenanceDecision ins,
+                             DecideInsert(txn->vn(), std::nullopt));
+        ins.pv_null = false;
+        ins.cv_from_mv = false;
+        ins.set_tuple_vn = false;
+        ins.new_op = std::nullopt;
+        return ApplyDecision(txn, ins, Rid{}, std::move(fresh_row),
+                             nullptr);
+      }
+      WVM_ASSIGN_OR_RETURN(Row refetched, phys_->GetRow(*rid));
+      ++txn->stats_.page_pins;
+      WVM_ASSIGN_OR_RETURN(TupleVersionState after, StateOf(refetched));
+      WVM_ASSIGN_OR_RETURN(
+          MaintenanceDecision ins,
+          DecideInsert(txn->vn(),
+                       std::optional<TupleVersionState>(after)));
+      return ApplyDecision(txn, ins, *rid, std::move(refetched),
+                           &*effect.row);
+    }
+    case Kind::kCancelled: {
+      if (!state.has_value()) {
+        // insert+delete over a physically absent key: the serial pair
+        // creates a tuple and immediately removes it — net nothing.
+        ++out->noops;
+        return Status::OK();
+      }
+      // Over a live tuple the serial insert fails (AlreadyExists); over a
+      // logically deleted corpse the pair physically removes the corpse.
+      // Both need exact serial execution.
+      out->replayed_events += 2;
+      WVM_RETURN_IF_ERROR(
+          ReplayEvent(txn, key, LogicalEvent{Op::kInsert, *effect.row}));
+      return ReplayEvent(txn, key, LogicalEvent{Op::kDelete, {}});
+    }
+    case Kind::kReplay: {
+      out->replayed_events += effect.replay.size();
+      for (const LogicalEvent& ev : effect.replay) {
+        WVM_RETURN_IF_ERROR(ReplayEvent(txn, key, ev));
+      }
+      return Status::OK();
+    }
+  }
+  WVM_UNREACHABLE("bad net-effect kind");
+}
+
+Result<VnlTable::BatchApplyStats> VnlTable::ApplyBatch(
+    MaintenanceTxn* txn, const std::vector<BatchKeyOp>& ops) {
+  WVM_RETURN_IF_ERROR(CheckTxn(txn));
+  if (!vschema_.logical().has_unique_key()) {
+    return Status::FailedPrecondition(
+        "batched maintenance requires a unique key");
+  }
+  // Probe/pin deltas are read off the transaction counters so replayed
+  // fallbacks (which run the serial methods) are charged at serial cost.
+  const size_t probes_before = txn->stats_.index_probes;
+  const size_t pins_before = txn->stats_.page_pins;
+  BatchApplyStats out;
+  for (const BatchKeyOp& op : ops) {
+    ++out.keys;
+    std::optional<Rid> rid = IndexLookup(op.key);
+    ++txn->stats_.index_probes;
+    std::optional<Row> phys;
+    std::optional<TupleVersionState> state;
+    if (rid.has_value()) {
+      WVM_ASSIGN_OR_RETURN(Row fetched, phys_->GetRow(*rid));
+      ++txn->stats_.page_pins;
+      WVM_ASSIGN_OR_RETURN(state, StateOf(fetched));
+      phys = std::move(fetched);
+    }
+    // The decision callback sees what MaintenanceLookup would return:
+    // the current logical row, or nullopt for absent keys and corpses.
+    std::optional<Row> current;
+    if (state.has_value() && state->op != Op::kDelete) {
+      current = vschema_.CurrentLogical(*phys);
+    }
+    WVM_ASSIGN_OR_RETURN(NetEffect effect, op.decide(current));
+    WVM_RETURN_IF_ERROR(ApplyNetEffect(txn, op.key, effect, rid,
+                                       std::move(phys), state, &out));
+  }
+  out.index_probes = txn->stats_.index_probes - probes_before;
+  out.page_pins = txn->stats_.page_pins - pins_before;
+  return out;
 }
 
 namespace {

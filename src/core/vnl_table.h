@@ -39,6 +39,12 @@ class MaintenanceTxn {
     size_t physical_inserts = 0;
     size_t physical_updates = 0;
     size_t physical_deletes = 0;
+    // Maintenance-path access cost: hash-index probes issued, and heap
+    // *read* fetches pinned to drive the decision procedure (writes are
+    // not pins — every logical action pays exactly one write, batched or
+    // not, so reads are where batching amortizes).
+    size_t index_probes = 0;
+    size_t page_pins = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -115,6 +121,44 @@ class VnlTable {
   Result<std::optional<Row>> MaintenanceLookup(MaintenanceTxn* txn,
                                                const Row& key) const;
 
+  // --- Batched maintenance application -------------------------------------
+
+  // One key's slot in a batched apply: the key plus a callback deciding
+  // the key's net effect. The callback receives the current logical row as
+  // the maintenance transaction sees it (nullopt when the key is absent or
+  // logically deleted) — the same value MaintenanceLookup would return —
+  // so state-dependent maintenance (view deltas) costs no extra probe.
+  // Event-folded callers ignore the argument and return a precomputed
+  // NetEffect (see CoalesceBatch).
+  struct BatchKeyOp {
+    Row key;
+    std::function<Result<NetEffect>(const std::optional<Row>& current)>
+        decide;
+  };
+
+  struct BatchApplyStats {
+    size_t keys = 0;
+    size_t noops = 0;
+    size_t inserts = 0;   // net inserts (fresh or Table-2 revive of corpse)
+    size_t updates = 0;
+    size_t deletes = 0;
+    size_t revives = 0;          // delete-then-insert folds
+    size_t replayed_events = 0;  // events that fell back to serial replay
+    size_t index_probes = 0;     // includes probes issued by replays
+    size_t page_pins = 0;
+  };
+
+  // Applies one coalesced operation per key: one hash-index probe, one
+  // page pin, and one ApplyDecision transition per key (a revive pays a
+  // second pin; replays fall back to the serial per-event cost). Final
+  // heap bytes, pre-update versions, and error behavior — including which
+  // prefix of a failing batch got applied — are identical to applying the
+  // key's events serially. Keys are processed in `ops` order. kUpdate /
+  // kDelete / kRevive on an absent or logically deleted key return
+  // kNotFound("no such key"), mirroring the facade's serial mapping.
+  Result<BatchApplyStats> ApplyBatch(MaintenanceTxn* txn,
+                                     const std::vector<BatchKeyOp>& ops);
+
   // All logical rows visible to the maintenance transaction.
   Result<std::vector<Row>> MaintenanceRows(MaintenanceTxn* txn) const;
 
@@ -177,6 +221,30 @@ class VnlTable {
   // when the cell copies CV <- MV.
   Status ApplyDecision(MaintenanceTxn* txn, const MaintenanceDecision& d,
                        Rid rid, Row phys, const Row* mv_logical);
+
+  // Version-state triple of a fetched physical row (decision-table input).
+  Result<TupleVersionState> StateOf(const Row& phys) const;
+
+  // `next` must preserve every non-updatable attribute of `current`.
+  Status CheckUpdatablesOnly(const Row& current, const Row& next) const;
+
+  // One key of ApplyBatch: maps the folded net effect onto the
+  // already-fetched tuple state and dispatches the fused decision(s).
+  Status ApplyNetEffect(MaintenanceTxn* txn, const Row& key,
+                        const NetEffect& effect, std::optional<Rid> rid,
+                        std::optional<Row> phys,
+                        std::optional<TupleVersionState> state,
+                        BatchApplyStats* out);
+
+  // Exact serial re-execution of one folded-out event (kReplay /
+  // kCancelled fallbacks). Deletes and updates address `key`; the serial
+  // methods' found=false maps to kNotFound, mirroring the facade.
+  Status ReplayEvent(MaintenanceTxn* txn, const Row& key,
+                     const LogicalEvent& ev);
+
+  // Key-shaped row normalized through the column codec (what the hash
+  // index stores).
+  Row NormalizeKey(const Row& key) const;
 
   // Incremental cursor (Example 4.3): collects the Rids of tuples the
   // maintenance txn can see (skips logically deleted tuples) matching

@@ -1,5 +1,7 @@
 #include "warehouse/view_maintenance.h"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -31,20 +33,28 @@ Row SummaryView::MakeRow(const Row& dims, int64_t total,
 }
 
 Result<SummaryView::ApplyStats> SummaryView::ApplyDelta(
-    baselines::WarehouseEngine* engine, const DeltaBatch& batch) const {
+    baselines::WarehouseEngine* engine, const DeltaBatch& batch,
+    const ApplyOptions& options) const {
   ApplyStats stats;
   stats.events = batch.size();
 
   // Fold the batch into per-group net deltas (SP89's net effect applied
   // at the delta level; the engine's decision tables then net-effect any
   // repeated touches of the same group across batches in one txn).
+  // Groups are kept in first-seen order — the order a serial per-event
+  // application would first touch them — so serial and batched runs
+  // allocate view tuples identically.
   struct GroupDelta {
+    Row dims;
     int64_t total = 0;
     int64_t support = 0;
   };
-  std::unordered_map<Row, GroupDelta, RowHash, RowEq> deltas;
+  std::vector<GroupDelta> deltas;
+  std::unordered_map<Row, size_t, RowHash, RowEq> slot_of;
   for (const BaseEvent& event : batch) {
-    GroupDelta& d = deltas[event.dims];
+    auto [it, fresh] = slot_of.try_emplace(event.dims, deltas.size());
+    if (fresh) deltas.push_back({event.dims, 0, 0});
+    GroupDelta& d = deltas[it->second];
     if (event.retraction) {
       d.total -= event.amount;
       d.support -= 1;
@@ -53,38 +63,109 @@ Result<SummaryView::ApplyStats> SummaryView::ApplyDelta(
       d.support += 1;
     }
   }
+  stats.keys_coalesced = deltas.size();
+  stats.events_folded = stats.events - deltas.size();
 
-  for (const auto& [dims, delta] : deltas) {
+  if (options.batch_size == 0) {
+    // Legacy serial path: one facade call sequence per group. Probe/pin
+    // accounting matches the serial MaintApplyBatch fallback so the two
+    // paths are directly comparable.
+    for (const GroupDelta& delta : deltas) {
+      if (delta.total == 0 && delta.support == 0) continue;
+      ++stats.groups_touched;
+      WVM_ASSIGN_OR_RETURN(std::optional<Row> current,
+                           engine->MaintReadKey(delta.dims));
+      ++stats.index_probes;
+      if (current.has_value()) ++stats.page_pins;
+      if (!current.has_value()) {
+        if (delta.support <= 0) {
+          return Status::InvalidArgument(
+              "retraction for a group absent from the view");
+        }
+        WVM_RETURN_IF_ERROR(engine->MaintInsert(
+            MakeRow(delta.dims, delta.total, delta.support)));
+        ++stats.index_probes;
+        ++stats.inserts;
+        continue;
+      }
+      const int64_t new_total =
+          (*current)[total_col()].AsInt64() + delta.total;
+      const int64_t new_support =
+          (*current)[support_col()].AsInt64() + delta.support;
+      if (new_support < 0) {
+        return Status::InvalidArgument("view support underflow");
+      }
+      if (new_support == 0) {
+        WVM_RETURN_IF_ERROR(engine->MaintDelete(delta.dims));
+        ++stats.index_probes;
+        ++stats.page_pins;
+        ++stats.deletes;
+      } else {
+        WVM_RETURN_IF_ERROR(engine->MaintUpdate(
+            delta.dims, MakeRow(delta.dims, new_total, new_support)));
+        ++stats.index_probes;
+        ++stats.page_pins;
+        ++stats.updates;
+      }
+    }
+    return stats;
+  }
+
+  // Batched path: hand the engine per-group net-action callbacks in
+  // first-seen order, `batch_size` groups per call. The callback runs the
+  // same support arithmetic as the serial loop against the current row
+  // the engine fetched with its single probe.
+  using baselines::WarehouseEngine;
+  std::vector<WarehouseEngine::MaintBatchOp> ops;
+  ops.reserve(std::min(options.batch_size, deltas.size()));
+  auto flush = [&]() -> Status {
+    if (ops.empty()) return Status::OK();
+    WVM_ASSIGN_OR_RETURN(WarehouseEngine::MaintBatchStats batch_stats,
+                         engine->MaintApplyBatch(ops));
+    stats.inserts += batch_stats.inserts;
+    stats.updates += batch_stats.updates;
+    stats.deletes += batch_stats.deletes;
+    stats.index_probes += batch_stats.index_probes;
+    stats.page_pins += batch_stats.page_pins;
+    ops.clear();
+    return Status::OK();
+  };
+  for (const GroupDelta& delta : deltas) {
     if (delta.total == 0 && delta.support == 0) continue;
     ++stats.groups_touched;
-    WVM_ASSIGN_OR_RETURN(std::optional<Row> current,
-                         engine->MaintReadKey(dims));
-    if (!current.has_value()) {
-      if (delta.support <= 0) {
-        return Status::InvalidArgument(
-            "retraction for a group absent from the view");
+    WarehouseEngine::MaintBatchOp op;
+    op.key = delta.dims;
+    op.decide = [this, delta](const std::optional<Row>& current)
+        -> Result<WarehouseEngine::MaintNetAction> {
+      WarehouseEngine::MaintNetAction action;
+      if (!current.has_value()) {
+        if (delta.support <= 0) {
+          return Status::InvalidArgument(
+              "retraction for a group absent from the view");
+        }
+        action.kind = WarehouseEngine::MaintNetAction::Kind::kInsert;
+        action.row = MakeRow(delta.dims, delta.total, delta.support);
+        return action;
       }
-      WVM_RETURN_IF_ERROR(
-          engine->MaintInsert(MakeRow(dims, delta.total, delta.support)));
-      ++stats.inserts;
-      continue;
-    }
-    const int64_t new_total =
-        (*current)[total_col()].AsInt64() + delta.total;
-    const int64_t new_support =
-        (*current)[support_col()].AsInt64() + delta.support;
-    if (new_support < 0) {
-      return Status::InvalidArgument("view support underflow");
-    }
-    if (new_support == 0) {
-      WVM_RETURN_IF_ERROR(engine->MaintDelete(dims));
-      ++stats.deletes;
-    } else {
-      WVM_RETURN_IF_ERROR(
-          engine->MaintUpdate(dims, MakeRow(dims, new_total, new_support)));
-      ++stats.updates;
-    }
+      const int64_t new_total =
+          (*current)[total_col()].AsInt64() + delta.total;
+      const int64_t new_support =
+          (*current)[support_col()].AsInt64() + delta.support;
+      if (new_support < 0) {
+        return Status::InvalidArgument("view support underflow");
+      }
+      if (new_support == 0) {
+        action.kind = WarehouseEngine::MaintNetAction::Kind::kDelete;
+        return action;
+      }
+      action.kind = WarehouseEngine::MaintNetAction::Kind::kUpdate;
+      action.row = MakeRow(delta.dims, new_total, new_support);
+      return action;
+    };
+    ops.push_back(std::move(op));
+    if (ops.size() >= options.batch_size) WVM_RETURN_IF_ERROR(flush());
   }
+  WVM_RETURN_IF_ERROR(flush());
   return stats;
 }
 

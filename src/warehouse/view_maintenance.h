@@ -48,14 +48,35 @@ class SummaryView {
     size_t inserts = 0;
     size_t updates = 0;
     size_t deletes = 0;
+    // Coalescing effectiveness: distinct groups the batch folded into, and
+    // how many events the fold absorbed (events - keys_coalesced).
+    size_t keys_coalesced = 0;
+    size_t events_folded = 0;
+    // Amortization: maintenance-path index probes and heap page pins the
+    // apply cost (real engine counters on the 2VNL adapter; facade-call
+    // accounting on engines using the serial fallback).
+    size_t index_probes = 0;
+    size_t page_pins = 0;
+  };
+
+  struct ApplyOptions {
+    // Coalesced groups per MaintApplyBatch call. 0 = legacy serial path:
+    // one MaintReadKey + MaintInsert/MaintUpdate/MaintDelete per group.
+    size_t batch_size = 64;
   };
 
   // Propagates one delta batch into the materialized view through an
   // engine's open maintenance transaction. Events are first folded into
   // per-group net deltas (the batch's net effect), then applied as
-  // insert / update / delete maintenance operations.
+  // batched per-group net maintenance actions, so each group costs one
+  // index probe and one page pin on engines with a native batched path.
   Result<ApplyStats> ApplyDelta(baselines::WarehouseEngine* engine,
-                                const DeltaBatch& batch) const;
+                                const DeltaBatch& batch) const {
+    return ApplyDelta(engine, batch, ApplyOptions{});
+  }
+  Result<ApplyStats> ApplyDelta(baselines::WarehouseEngine* engine,
+                                const DeltaBatch& batch,
+                                const ApplyOptions& options) const;
 
  private:
   size_t dims_;
